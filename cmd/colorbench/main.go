@@ -1,0 +1,80 @@
+// Command colorbench regenerates the paper's tables and figures
+// (experiments E1–E9 of DESIGN.md) and prints the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	colorbench -experiment fig1 [-scale 1] [-procs 2] [-eps 0.01]
+//	           [-trials 3] [-seed 42]
+//	colorbench -experiment all    # run everything
+//	colorbench -list              # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment to run (see -list), or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		scale      = flag.Int("scale", 1, "suite size multiplier")
+		procs      = flag.Int("procs", 2, "worker count")
+		eps        = flag.Float64("eps", 0.01, "ADG epsilon")
+		trials     = flag.Int("trials", 3, "timed repetitions per point")
+		seed       = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	exps := harness.Experiments()
+	names := make([]string, 0, len(exps))
+	for name := range exps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, n := range names {
+			fmt.Println(" ", n)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "colorbench: -experiment required (or -list)")
+		os.Exit(2)
+	}
+
+	opts := harness.Options{
+		Scale:   *scale,
+		Procs:   *procs,
+		Epsilon: *eps,
+		Trials:  *trials,
+		Seed:    *seed,
+	}
+	run := func(name string) {
+		fn, ok := exps[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "colorbench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		out, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", name, out)
+	}
+	if *experiment == "all" {
+		for _, n := range names {
+			run(n)
+		}
+		return
+	}
+	run(*experiment)
+}

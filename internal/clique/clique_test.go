@@ -1,0 +1,184 @@
+package clique
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func cliqueKey(c []uint32) string {
+	b := make([]byte, 0, len(c)*3)
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), ',')
+	}
+	return string(b)
+}
+
+func collect(g *graph.Graph, keys []uint64, p int) map[string][]uint32 {
+	out := map[string][]uint32{}
+	Enumerate(g, keys, p, func(c []uint32) {
+		out[cliqueKey(c)] = c
+	})
+	return out
+}
+
+func TestKnownCliqueCounts(t *testing.T) {
+	cases := []struct {
+		name    string
+		mk      func() (*graph.Graph, error)
+		count   int
+		maxSize int
+	}{
+		{"K5", func() (*graph.Graph, error) { return gen.Complete(5, 1) }, 1, 5},
+		{"path4", func() (*graph.Graph, error) { return gen.Path(4, 1) }, 3, 2},
+		{"C5", func() (*graph.Graph, error) { return gen.Cycle(5, 1) }, 5, 2},
+		{"star6", func() (*graph.Graph, error) { return gen.Star(6, 1) }, 5, 2},
+		{"K33", func() (*graph.Graph, error) { return gen.CompleteBipartite(3, 3, 1) }, 9, 2},
+		{"edgeless", func() (*graph.Graph, error) { return graph.FromEdges(4, nil, 1) }, 4, 1},
+	}
+	for _, c := range cases {
+		g, err := c.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, maxSize := Count(g, OrderExact(g), 2)
+		if count != c.count || maxSize != c.maxSize {
+			t.Errorf("%s: count=%d maxSize=%d want %d/%d", c.name, count, maxSize, c.count, c.maxSize)
+		}
+	}
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		m := int64(mRaw) % 40
+		g, err := gen.ErdosRenyiGNM(n, m, seed, 1)
+		if err != nil {
+			return false
+		}
+		want := BruteForce(g)
+		got := collect(g, OrderExact(g), 1)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, c := range want {
+			if _, ok := got[cliqueKey(c)]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADGOrderSameCliqueSet(t *testing.T) {
+	// The enumerated clique set must be independent of the root order —
+	// ELS with the exact order and with ADG's approximate order agree.
+	g, err := gen.ErdosRenyiGNM(120, 700, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := collect(g, OrderExact(g), 2)
+	adg := collect(g, OrderADG(g, 0.1, 3, 2), 2)
+	if len(exact) != len(adg) {
+		t.Fatalf("clique counts differ: exact %d vs ADG %d", len(exact), len(adg))
+	}
+	for k := range exact {
+		if _, ok := adg[k]; !ok {
+			t.Fatal("ADG enumeration missed a clique")
+		}
+	}
+}
+
+func TestParallelConsistent(t *testing.T) {
+	g, err := gen.Kronecker(8, 6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := OrderExact(g)
+	c1 := collect(g, keys, 1)
+	c4 := collect(g, keys, 4)
+	if len(c1) != len(c4) {
+		t.Fatalf("parallel run changed clique count: %d vs %d", len(c1), len(c4))
+	}
+}
+
+func TestCliquesAreMaximalCliques(t *testing.T) {
+	g, err := gen.Community(90, 3, 0.6, 60, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enumerate(g, OrderExact(g), 2, func(c []uint32) {
+		// Clique: all pairs adjacent.
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !g.HasEdge(c[i], c[j]) {
+					t.Errorf("non-clique emitted: %v", c)
+					return
+				}
+			}
+		}
+		// Maximal: no common neighbor of all members.
+		if len(c) == 0 {
+			t.Error("empty clique emitted")
+			return
+		}
+		in := map[uint32]bool{}
+		for _, v := range c {
+			in[v] = true
+		}
+		for _, w := range g.Neighbors(c[0]) {
+			if in[w] {
+				continue
+			}
+			all := true
+			for _, v := range c {
+				if !g.HasEdge(w, v) {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.Errorf("clique %v not maximal: %d extends it", c, w)
+				return
+			}
+		}
+	})
+}
+
+func TestEmittedSorted(t *testing.T) {
+	g, err := gen.Complete(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enumerate(g, OrderExact(g), 2, func(c []uint32) {
+		if !sort.SliceIsSorted(c, func(i, j int) bool { return c[i] < c[j] }) {
+			t.Errorf("clique not sorted: %v", c)
+		}
+	})
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil, 1)
+	count, _ := Count(g, nil, 2)
+	if count != 0 {
+		t.Fatal("cliques found in empty graph")
+	}
+}
+
+func BenchmarkEnumerateELS(b *testing.B) {
+	g, err := gen.BarabasiAlbert(2000, 6, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := OrderExact(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(g, keys, 0)
+	}
+}

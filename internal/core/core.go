@@ -1,0 +1,138 @@
+// Package core composes the paper's primary contributions behind one
+// interface: the ADG approximate degeneracy ordering (contribution #1)
+// and the three coloring algorithms built on it — JP-ADG (#2), DEC-ADG
+// (#3) and DEC-ADG-ITR (#4) — together with their provable guarantees
+// from Theorem 1, Claim 2 and §IV-C.
+//
+// The substrates live in sibling packages (order, jp, spec); this package
+// is the single entry point that pairs each algorithm with its guarantee
+// so callers cannot run one without the other being checkable.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/jp"
+	"repro/internal/kcore"
+	"repro/internal/order"
+	"repro/internal/spec"
+)
+
+// Params are the shared knobs of the contributed algorithms.
+type Params struct {
+	// Epsilon is ε: larger = more parallelism, looser quality.
+	Epsilon float64
+	// Procs is the worker count (<= 0: GOMAXPROCS).
+	Procs int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Guarantee states a provable bound of the paper, evaluated for a
+// concrete graph.
+type Guarantee struct {
+	// Colors is the color-count bound (e.g. ⌈2(1+ε)d⌉+1 for JP-ADG).
+	Colors int
+	// OrderRounds bounds ADG's parallel rounds (Lemma 1 / Lemma 14).
+	OrderRounds int
+	// Statement is the human-readable bound.
+	Statement string
+}
+
+// Outcome pairs a coloring with its guarantee.
+type Outcome struct {
+	Colors    []uint32
+	NumColors int
+	Guarantee Guarantee
+	// OrderIterations is ADG's measured round count.
+	OrderIterations int
+}
+
+// JPADG runs JP-ADG (Theorem 1): expected depth
+// O(log²n + log Δ·(d log n + log d·log²n/log log n)), O(n+m) work,
+// ≤ ⌈2(1+ε)d⌉+1 colors.
+func JPADG(g *graph.Graph, p Params) (*Outcome, error) {
+	if p.Epsilon < 0 {
+		return nil, fmt.Errorf("core: negative epsilon %v", p.Epsilon)
+	}
+	ord := order.ADG(g, order.ADGOptions{
+		Epsilon: p.Epsilon, Procs: p.Procs, Seed: p.Seed, Sorted: true,
+	})
+	res := jp.Color(g, ord, p.Procs)
+	d := kcore.Degeneracy(g)
+	return &Outcome{
+		Colors:          res.Colors,
+		NumColors:       res.NumColors,
+		OrderIterations: ord.Iterations,
+		Guarantee: Guarantee{
+			Colors:      ceilMul(2*(1+p.Epsilon), d) + 1,
+			OrderRounds: order.TheoreticalIterationBound(g.NumVertices(), p.Epsilon),
+			Statement:   fmt.Sprintf("JP-ADG: ≤ ⌈2(1+%.3g)·d⌉+1 colors, O(n+m) work (Theorem 1)", p.Epsilon),
+		},
+	}, nil
+}
+
+// DECADG runs DEC-ADG (Lemma 12, Claim 2): O(log d·log²n) depth w.h.p.,
+// O(n+m) work w.h.p., ≤ (2+ε)d-style colors.
+func DECADG(g *graph.Graph, p Params) (*Outcome, error) {
+	if p.Epsilon < 0 {
+		return nil, fmt.Errorf("core: negative epsilon %v", p.Epsilon)
+	}
+	res := spec.DECADG(g, spec.Options{Procs: p.Procs, Seed: p.Seed, Epsilon: p.Epsilon})
+	d := kcore.Degeneracy(g)
+	return &Outcome{
+		Colors:          res.Colors,
+		NumColors:       res.NumColors,
+		OrderIterations: res.OrderIterations,
+		Guarantee: Guarantee{
+			Colors:      spec.DECQualityBound("DEC-ADG", d, p.Epsilon),
+			OrderRounds: order.TheoreticalIterationBound(g.NumVertices(), p.Epsilon/12),
+			Statement:   "DEC-ADG: ≤ (2+ε)d colors, O(log d·log²n) depth w.h.p. (Lemma 12, Claim 2)",
+		},
+	}, nil
+}
+
+// DECADGITR runs DEC-ADG-ITR (§IV-C): the ADG decomposition fused with
+// ITR's color rule; ≤ ⌈2(1+ε)d⌉+1 colors.
+func DECADGITR(g *graph.Graph, p Params) (*Outcome, error) {
+	if p.Epsilon < 0 {
+		return nil, fmt.Errorf("core: negative epsilon %v", p.Epsilon)
+	}
+	res := spec.DECADGITR(g, spec.Options{Procs: p.Procs, Seed: p.Seed, Epsilon: p.Epsilon})
+	d := kcore.Degeneracy(g)
+	return &Outcome{
+		Colors:          res.Colors,
+		NumColors:       res.NumColors,
+		OrderIterations: res.OrderIterations,
+		Guarantee: Guarantee{
+			Colors:      spec.DECQualityBound("DEC-ADG-ITR", d, p.Epsilon),
+			OrderRounds: order.TheoreticalIterationBound(g.NumVertices(), p.Epsilon/12),
+			Statement:   "DEC-ADG-ITR: ≤ ⌈2(1+ε)d⌉+1 colors (§IV-C)",
+		},
+	}, nil
+}
+
+// ADGOrdering exposes contribution #1 alone: the partial 2(1+ε)-
+// approximate degeneracy ordering (useful outside coloring).
+func ADGOrdering(g *graph.Graph, p Params) (*order.Ordering, Guarantee, error) {
+	if p.Epsilon < 0 {
+		return nil, Guarantee{}, fmt.Errorf("core: negative epsilon %v", p.Epsilon)
+	}
+	ord := order.ADG(g, order.ADGOptions{Epsilon: p.Epsilon, Procs: p.Procs, Seed: p.Seed})
+	d := kcore.Degeneracy(g)
+	return ord, Guarantee{
+		Colors:      ceilMul(2*(1+p.Epsilon), d),
+		OrderRounds: order.TheoreticalIterationBound(g.NumVertices(), p.Epsilon),
+		Statement:   "ADG: partial 2(1+ε)-approximate degeneracy ordering in O(log²n) depth (Lemmas 1, 2, 4)",
+	}, nil
+}
+
+func ceilMul(f float64, d int) int {
+	v := f * float64(d)
+	i := int(v)
+	if float64(i) < v {
+		i++
+	}
+	return i
+}

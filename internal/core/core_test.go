@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/verify"
+)
+
+func buildGraph(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	var g *graph.Graph
+	var err error
+	switch name {
+	case "ba":
+		g, err = gen.BarabasiAlbert(800, 4, 7, 2)
+	case "kron":
+		g, err = gen.Kronecker(9, 8, 7, 2)
+	default:
+		g, err = gen.Grid2D(20, 20, 2)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestContributionsMeetGuarantees(t *testing.T) {
+	for _, gname := range []string{"ba", "kron", "grid"} {
+		t.Run(gname, func(t *testing.T) {
+			g := buildGraph(t, gname)
+			p := Params{Epsilon: 5, Procs: 2, Seed: 3}
+			for _, run := range []struct {
+				name string
+				fn   func() (*Outcome, error)
+			}{
+				{"JP-ADG", func() (*Outcome, error) { return JPADG(g, p) }},
+				{"DEC-ADG", func() (*Outcome, error) { return DECADG(g, p) }},
+				{"DEC-ADG-ITR", func() (*Outcome, error) { return DECADGITR(g, p) }},
+			} {
+				out, err := run.fn()
+				if err != nil {
+					t.Fatalf("%s: %v", run.name, err)
+				}
+				if err := verify.CheckProper(g, out.Colors); err != nil {
+					t.Fatalf("%s: %v", run.name, err)
+				}
+				if out.NumColors > out.Guarantee.Colors {
+					t.Errorf("%s: %d colors exceed guarantee %d", run.name,
+						out.NumColors, out.Guarantee.Colors)
+				}
+				if out.OrderIterations > out.Guarantee.OrderRounds {
+					t.Errorf("%s: %d ADG rounds exceed bound %d", run.name,
+						out.OrderIterations, out.Guarantee.OrderRounds)
+				}
+				if out.Guarantee.Statement == "" {
+					t.Errorf("%s: missing guarantee statement", run.name)
+				}
+			}
+		})
+	}
+}
+
+func TestADGOrderingGuarantee(t *testing.T) {
+	g, err := gen.BarabasiAlbert(600, 3, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, guar, err := ADGOrdering(g, Params{Epsilon: 0.1, Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := order.MaxEqualOrHigherRankNeighbors(g, ord.Rank); got > guar.Colors {
+		t.Errorf("measured back-neighbors %d exceed 2(1+eps)d = %d", got, guar.Colors)
+	}
+	if ord.Iterations > guar.OrderRounds {
+		t.Errorf("%d rounds exceed bound %d", ord.Iterations, guar.OrderRounds)
+	}
+}
+
+func TestNegativeEpsilonRejected(t *testing.T) {
+	g, err := gen.Path(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JPADG(g, Params{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted by JPADG")
+	}
+	if _, err := DECADG(g, Params{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted by DECADG")
+	}
+	if _, err := DECADGITR(g, Params{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted by DECADGITR")
+	}
+	if _, _, err := ADGOrdering(g, Params{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted by ADGOrdering")
+	}
+}

@@ -1,0 +1,194 @@
+// Package densest implements approximate densest-subgraph discovery — the
+// second application of the paper's batch-peeling idea. §VII notes that
+// "the general structure of our ADG algorithm … was also used to solve
+// the (2+ε)-approximate maximal densest subgraph" (Dhulipala et al.
+// [61], after Bahmani et al.): repeatedly remove, in parallel, every
+// vertex whose degree is at most (1+ε) times twice the current density
+// and keep the densest intermediate subgraph. The same geometric-decay
+// argument as Lemma 1 gives O(log n) rounds.
+//
+// The exact sequential yardstick (Charikar's peeling 2-approximation
+// via the degeneracy order) is provided for comparison.
+package densest
+
+import (
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/par"
+)
+
+// Result describes a discovered dense subgraph.
+type Result struct {
+	// Vertices of the chosen subgraph.
+	Vertices []uint32
+	// Density is m(S)/|S| (half the average degree).
+	Density float64
+	// Rounds is the number of peeling rounds performed.
+	Rounds int
+	// ApproxFactor is the proven bound: the optimum density is at most
+	// ApproxFactor times the returned Density.
+	ApproxFactor float64
+}
+
+// ADGPeel finds a 2(1+ε)-approximate densest subgraph by ADG-style batch
+// peeling with p workers. ε > 0 controls the rounds/quality tradeoff
+// exactly as in ADG.
+func ADGPeel(g *graph.Graph, eps float64, p int) *Result {
+	if eps <= 0 {
+		eps = 0.1
+	}
+	n := g.NumVertices()
+	res := &Result{ApproxFactor: 2 * (1 + eps)}
+	if n == 0 {
+		return res
+	}
+	deg := g.Degrees()
+	alive := make([]bool, n)
+	active := make([]uint32, n)
+	for i := range active {
+		alive[i] = true
+		active[i] = uint32(i)
+	}
+	edges := g.NumEdges()
+	bestDensity := float64(edges) / float64(n)
+	bestSize := n
+	bestRound := 0
+	round := 0
+	removedAtRound := make([]int32, n) // round each vertex was removed in (-1 = never)
+	for i := range removedAtRound {
+		removedAtRound[i] = -1
+	}
+	for len(active) > 0 {
+		round++
+		density := float64(edges) / float64(len(active))
+		if density > bestDensity {
+			bestDensity = density
+			bestSize = len(active)
+			bestRound = round - 1
+		}
+		threshold := 2 * (1 + eps) * density
+		batchIdx := par.Pack(p, len(active), func(i int) bool {
+			return float64(deg[active[i]]) <= threshold
+		})
+		if len(batchIdx) == 0 {
+			// Cannot happen (some vertex has degree ≤ average = 2·density
+			// ≤ threshold); guard against float quirks.
+			break
+		}
+		batch := make([]uint32, len(batchIdx))
+		par.For(p, len(batchIdx), func(i int) { batch[i] = active[batchIdx[i]] })
+		for _, v := range batch {
+			alive[v] = false
+			removedAtRound[v] = int32(round)
+		}
+		// Edges removed: those with at least one endpoint in the batch.
+		removedEdges := par.ReduceInt64(p, len(batch), func(i int) int64 {
+			v := batch[i]
+			var c int64
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					c++ // edge to a survivor
+				} else if u > v && removedAtRound[u] == int32(round) {
+					c++ // edge inside the batch, counted once
+				} else if u < v && removedAtRound[u] == int32(round) {
+					// counted by the other endpoint
+					continue
+				}
+			}
+			return c
+		})
+		edges -= removedEdges
+		keep := par.Pack(p, len(active), func(i int) bool { return alive[active[i]] })
+		next := make([]uint32, len(keep))
+		par.For(p, len(keep), func(i int) { next[i] = active[keep[i]] })
+		// Update survivor degrees (pull style, race-free).
+		par.For(p, len(next), func(i int) {
+			u := next[i]
+			var c int32
+			for _, w := range g.Neighbors(u) {
+				if removedAtRound[w] == int32(round) {
+					c++
+				}
+			}
+			deg[u] -= c
+		})
+		active = next
+	}
+	res.Rounds = round
+	res.Density = bestDensity
+	// Reconstruct the best subgraph: vertices alive after bestRound
+	// rounds (removedAtRound > bestRound or never removed).
+	res.Vertices = par.Pack(p, n, func(v int) bool {
+		return removedAtRound[v] == -1 || int(removedAtRound[v]) > bestRound
+	})
+	if len(res.Vertices) != bestSize {
+		// Defensive: sizes must agree by construction.
+		res.Vertices = res.Vertices[:0]
+		for v := 0; v < n; v++ {
+			if removedAtRound[v] == -1 || int(removedAtRound[v]) > bestRound {
+				res.Vertices = append(res.Vertices, uint32(v))
+			}
+		}
+	}
+	return res
+}
+
+// Charikar finds a 2-approximate densest subgraph by exact min-degree
+// peeling (the sequential yardstick): the densest suffix of the
+// degeneracy order.
+func Charikar(g *graph.Graph) *Result {
+	n := g.NumVertices()
+	res := &Result{ApproxFactor: 2}
+	if n == 0 {
+		return res
+	}
+	dec := kcore.Decompose(g)
+	// Walking the peel order, track edges remaining after each removal.
+	edges := g.NumEdges()
+	best := float64(edges) / float64(n)
+	bestPos := -1 // best suffix starts after position bestPos
+	removed := make([]bool, n)
+	for i := 0; i < n-1; i++ {
+		v := dec.Order[i]
+		for _, u := range g.Neighbors(v) {
+			if !removed[u] {
+				edges--
+			}
+		}
+		removed[v] = true
+		density := float64(edges) / float64(n-i-1)
+		if density > best {
+			best = density
+			bestPos = i
+		}
+	}
+	res.Density = best
+	res.Rounds = n
+	for i := bestPos + 1; i < n; i++ {
+		res.Vertices = append(res.Vertices, dec.Order[i])
+	}
+	if bestPos == -1 {
+		res.Vertices = append([]uint32(nil), dec.Order...)
+	}
+	return res
+}
+
+// Density computes m(S)/|S| for the induced subgraph on set.
+func Density(g *graph.Graph, set []uint32) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	in := make(map[uint32]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	var m int64
+	for _, v := range set {
+		for _, u := range g.Neighbors(v) {
+			if v < u && in[u] {
+				m++
+			}
+		}
+	}
+	return float64(m) / float64(len(set))
+}

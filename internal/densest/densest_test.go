@@ -1,0 +1,138 @@
+package densest
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// plantedGraph embeds a k-clique in a sparse random background.
+func plantedGraph(t *testing.T, n, k int) *graph.Graph {
+	t.Helper()
+	bg, err := gen.ErdosRenyiGNM(n, int64(n), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := bg.Edges()
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	g, err := graph.FromEdges(n, edges, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCharikarFindsPlantedClique(t *testing.T) {
+	g := plantedGraph(t, 500, 30)
+	res := Charikar(g)
+	// The clique alone has density (k-1)/2 = 14.5; the background ~1.
+	if res.Density < 10 {
+		t.Fatalf("Charikar density %.2f, expected ≥ 10", res.Density)
+	}
+	// Reported density must match the reported vertex set.
+	if got := Density(g, res.Vertices); got != res.Density {
+		t.Fatalf("reported density %.3f but set has %.3f", res.Density, got)
+	}
+}
+
+func TestADGPeelApproximation(t *testing.T) {
+	g := plantedGraph(t, 500, 30)
+	exact := Charikar(g) // itself a 2-approx; optimum ≥ exact.Density
+	for _, eps := range []float64{0.01, 0.1, 1} {
+		res := ADGPeel(g, eps, 2)
+		if got := Density(g, res.Vertices); got != res.Density {
+			t.Fatalf("eps=%v: reported density %.3f but set has %.3f", eps, res.Density, got)
+		}
+		// ADGPeel is 2(1+ε)-approx of the optimum; the optimum is at
+		// least exact.Density, so allow the full factor against it.
+		if res.Density*res.ApproxFactor < exact.Density {
+			t.Errorf("eps=%v: density %.2f too far below Charikar's %.2f",
+				eps, res.Density, exact.Density)
+		}
+		if res.Rounds <= 0 {
+			t.Errorf("eps=%v: no rounds recorded", eps)
+		}
+	}
+}
+
+func TestADGPeelLogRounds(t *testing.T) {
+	g, err := gen.Kronecker(12, 8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ADGPeel(g, 0.5, 2)
+	// ⌈log n / log 1.5⌉ + slack.
+	if res.Rounds > 40 {
+		t.Fatalf("ADGPeel used %d rounds on n=%d", res.Rounds, g.NumVertices())
+	}
+}
+
+func TestDensityOnKnownSets(t *testing.T) {
+	g, err := gen.Complete(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Density(g, []uint32{0, 1, 2, 3, 4, 5}); got != 2.5 {
+		t.Fatalf("K6 density %.2f want 2.5", got)
+	}
+	if got := Density(g, []uint32{0, 1}); got != 0.5 {
+		t.Fatalf("K2 subgraph density %.2f want 0.5", got)
+	}
+	if Density(g, nil) != 0 {
+		t.Fatal("empty set density != 0")
+	}
+}
+
+func TestCliqueIsItsOwnDensest(t *testing.T) {
+	g, err := gen.Complete(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*Result{Charikar(g), ADGPeel(g, 0.1, 2)} {
+		if len(res.Vertices) != 20 {
+			t.Fatalf("densest subgraph of K20 has %d vertices", len(res.Vertices))
+		}
+		if res.Density != 9.5 {
+			t.Fatalf("K20 density %.2f want 9.5", res.Density)
+		}
+	}
+}
+
+func TestEmptyAndEdgelessGraphs(t *testing.T) {
+	empty, _ := graph.FromEdges(0, nil, 1)
+	if res := ADGPeel(empty, 0.1, 2); res.Density != 0 || len(res.Vertices) != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+	if res := Charikar(empty); res.Density != 0 {
+		t.Fatal("empty graph mishandled by Charikar")
+	}
+	lone, _ := graph.FromEdges(5, nil, 1)
+	if res := ADGPeel(lone, 0.1, 2); res.Density != 0 {
+		t.Fatal("edgeless graph density != 0")
+	}
+}
+
+func TestADGPeelDeterministic(t *testing.T) {
+	g := plantedGraph(t, 300, 20)
+	a := ADGPeel(g, 0.2, 1)
+	b := ADGPeel(g, 0.2, 4)
+	if a.Density != b.Density || len(a.Vertices) != len(b.Vertices) {
+		t.Fatal("ADGPeel result depends on worker count")
+	}
+}
+
+func BenchmarkADGPeel(b *testing.B) {
+	g, err := gen.Kronecker(13, 16, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ADGPeel(g, 0.1, 0)
+	}
+}

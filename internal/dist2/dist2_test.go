@@ -1,0 +1,150 @@
+package dist2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/greedy"
+	"repro/internal/order"
+	"repro/internal/verify"
+)
+
+func TestSquareOfPath(t *testing.T) {
+	g, err := gen.Path(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := Square(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P5 squared: edges (i,i+1) and (i,i+2) -> 4 + 3 = 7.
+	if sq.NumEdges() != 7 {
+		t.Fatalf("P5^2 has %d edges, want 7", sq.NumEdges())
+	}
+	if !sq.HasEdge(0, 2) || sq.HasEdge(0, 3) {
+		t.Fatal("square adjacency wrong")
+	}
+}
+
+func TestSquareOfStarIsClique(t *testing.T) {
+	g, err := gen.Star(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := Square(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.NumEdges() != 45 { // K10
+		t.Fatalf("star^2 has %d edges, want 45", sq.NumEdges())
+	}
+}
+
+func TestGreedyProducesValidD2Coloring(t *testing.T) {
+	graphs := map[string]func() (*graph.Graph, error){
+		"er":   func() (*graph.Graph, error) { return gen.ErdosRenyiGNM(150, 500, 1, 2) },
+		"grid": func() (*graph.Graph, error) { return gen.Grid2D(10, 12, 2) },
+		"star": func() (*graph.Graph, error) { return gen.Star(40, 2) },
+		"ba":   func() (*graph.Graph, error) { return gen.BarabasiAlbert(200, 3, 5, 2) },
+	}
+	for name, mk := range graphs {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Greedy(g, order.FirstFit(g))
+		if err := Check(g, res.Colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Δ²+1 bound.
+		dd := g.MaxDegree()
+		if res.NumColors > dd*dd+1 {
+			t.Errorf("%s: %d colors > Δ²+1", name, res.NumColors)
+		}
+	}
+}
+
+func TestD2EqualsColoringOfSquare(t *testing.T) {
+	// A distance-2 coloring of G is exactly a proper coloring of G²;
+	// cross-check our checker and a square-graph coloring.
+	g, err := gen.ErdosRenyiGNM(100, 300, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := Square(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := greedy.FF(sq)
+	if err := Check(g, res.Colors); err != nil {
+		t.Fatalf("square coloring rejected by d2 checker: %v", err)
+	}
+	d2 := Greedy(g, order.FirstFit(g))
+	if err := verify.CheckProper(sq, d2.Colors); err != nil {
+		t.Fatalf("d2 coloring improper on square graph: %v", err)
+	}
+}
+
+func TestGreedyADG(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 4, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := GreedyADG(g, 0.1, 3, 2)
+	if err := Check(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsTwoHopConflict(t *testing.T) {
+	// Path 0-1-2: colors (1,2,1) are proper at distance 1 but not 2.
+	g, err := gen.Path(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(g, []uint32{1, 2, 1}); err == nil {
+		t.Fatal("distance-2 conflict accepted")
+	}
+	if err := Check(g, []uint32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarD2NeedsNColors(t *testing.T) {
+	// Every pair of leaves is at distance 2 through the hub: star needs
+	// exactly n colors.
+	g, err := gen.Star(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Greedy(g, order.FirstFit(g))
+	if res.NumColors != 12 {
+		t.Fatalf("star d2 colors = %d, want 12", res.NumColors)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil, 1)
+	res := Greedy(g, order.FirstFit(g))
+	if res.NumColors != 0 {
+		t.Fatal("empty graph colored")
+	}
+}
+
+func TestD2Property(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		g, err := gen.ErdosRenyiGNM(n, int64(mRaw)%90, seed, 1)
+		if err != nil {
+			return false
+		}
+		res := GreedyADG(g, 0.2, seed, 1)
+		return Check(g, res.Colors) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ReadDIMACSColor parses the DIMACS graph-coloring format [99]
+// ("c …" comments, "p edge N M" header, "e u v" edges, 1-indexed).
+// This is the format of the classic coloring benchmark instances.
+func ReadDIMACSColor(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []graph.Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if len(fields) < 3 || (fields[1] != "edge" && fields[1] != "col") {
+				return nil, fmt.Errorf("graphio: line %d: bad problem line %q", lineNo, line)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[2])
+			}
+			n = v
+		case "e":
+			if n < 0 {
+				return nil, fmt.Errorf("graphio: line %d: edge before problem line", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graphio: line %d: bad edge %q", lineNo, line)
+			}
+			u, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+			}
+			v, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+			}
+			if u == 0 || v == 0 || int(u) > n || int(v) > n {
+				return nil, fmt.Errorf("graphio: line %d: vertex out of range in %q", lineNo, line)
+			}
+			edges = append(edges, graph.Edge{U: uint32(u - 1), V: uint32(v - 1)})
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graphio: missing DIMACS problem line")
+	}
+	return graph.FromEdges(n, edges, 0)
+}
+
+// WriteDIMACSColor writes g in the DIMACS coloring format (1-indexed).
+func WriteDIMACSColor(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "c parcolor export\n")
+	fmt.Fprintf(bw, "p edge %d %d\n", g.NumVertices(), g.NumEdges())
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) < u {
+				if _, err := fmt.Fprintf(bw, "e %d %d\n", v+1, u+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,83 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestReadDIMACSColor(t *testing.T) {
+	in := `c a comment
+p edge 4 4
+e 1 2
+e 2 3
+e 3 4
+e 4 1
+`
+	g, err := ReadDIMACSColor(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(3, 0) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestReadDIMACSColAlias(t *testing.T) {
+	in := "p col 2 1\ne 1 2\n"
+	g, err := ReadDIMACSColor(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("col alias not accepted")
+	}
+}
+
+func TestReadDIMACSColorErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no problem line
+		"e 1 2\n",                 // edge before header
+		"p edge x 1\n",            // bad n
+		"p edge 3 1\ne 0 2\n",     // 0-indexed
+		"p edge 3 1\ne 1 9\n",     // out of range
+		"p edge 3 1\ne 1\n",       // short edge
+		"p edge 3 1\nq 1 2\n",     // unknown directive
+		"p matrix 3 1\ne 1 2\n",   // wrong format word
+		"p edge 3 1\ne one two\n", // non-numeric
+	}
+	for i, in := range cases {
+		if _, err := ReadDIMACSColor(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g1, err := gen.ErdosRenyiGNM(80, 300, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDIMACSColor(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadDIMACSColor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d",
+			g1.NumVertices(), g1.NumEdges(), g2.NumVertices(), g2.NumEdges())
+	}
+	for v := 0; v < g1.NumVertices(); v++ {
+		if g1.Degree(uint32(v)) != g2.Degree(uint32(v)) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package graphio reads and writes graphs in three formats:
+//
+//   - whitespace-separated edge lists ("u v" per line, '#'/'%' comments) —
+//     the format SNAP and KONECT datasets ship in (Table V);
+//   - MatrixMarket pattern files (DIMACS-style sparse matrices);
+//   - a compact binary CSR snapshot for fast reload of generated suites.
+//
+// All readers produce simple undirected graphs via graph.FromEdges, so
+// self-loops and duplicates in the input are tolerated and cleaned.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ReadEdgeList parses an edge list. Vertex IDs are arbitrary non-negative
+// integers; the graph is built over 0..maxID. Lines starting with '#' or
+// '%' are comments; blank lines are skipped. A line with fewer than two
+// fields is an error; extra fields (weights) are ignored.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graphio: line %d: need at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		if int(u) > maxID {
+			maxID = int(u)
+		}
+		if int(v) > maxID {
+			maxID = int(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: scan: %v", err)
+	}
+	return graph.FromEdges(maxID+1, edges, 0)
+}
+
+// WriteEdgeList writes g as "u v" lines, one per undirected edge (u < v).
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# parcolor edge list: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket reads a MatrixMarket coordinate "pattern" file
+// (1-indexed) as an undirected graph. Both general and symmetric
+// symmetries are accepted; values on data lines beyond the two indices
+// are ignored.
+func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graphio: empty MatrixMarket input")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "%%MatrixMarket") {
+		return nil, fmt.Errorf("graphio: missing MatrixMarket header, got %q", header)
+	}
+	if !strings.Contains(header, "coordinate") {
+		return nil, fmt.Errorf("graphio: only coordinate format supported")
+	}
+	// Skip comments, read size line.
+	var rows, cols int
+	var nnz int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '%' {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("graphio: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	edges := make([]graph.Edge, 0, nnz)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graphio: bad entry %q", line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		if u == 0 || v == 0 {
+			return nil, fmt.Errorf("graphio: MatrixMarket is 1-indexed, got entry %q", line)
+		}
+		edges = append(edges, graph.Edge{U: uint32(u - 1), V: uint32(v - 1)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return graph.FromEdges(n, edges, 0)
+}
+
+const binaryMagic = uint64(0x70636f6c43535231) // "pcolCSR1"
+
+// WriteBinary writes a compact binary CSR snapshot of g.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	if err := binary.Write(bw, binary.LittleEndian, binaryMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(n)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.NumArcs())); err != nil {
+		return err
+	}
+	degs := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		degs[v] = uint32(g.Degree(uint32(v)))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, degs); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if err := binary.Write(bw, binary.LittleEndian, g.Neighbors(uint32(v))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a snapshot written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, n64, arcs uint64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("graphio: binary header: %v", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graphio: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n64); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &arcs); err != nil {
+		return nil, err
+	}
+	if n64 > 1<<31 || arcs > 1<<40 {
+		return nil, fmt.Errorf("graphio: implausible sizes n=%d arcs=%d", n64, arcs)
+	}
+	n := int(n64)
+	degs := make([]uint32, n)
+	if err := binary.Read(br, binary.LittleEndian, degs); err != nil {
+		return nil, err
+	}
+	var total uint64
+	for _, d := range degs {
+		total += uint64(d)
+	}
+	if total != arcs {
+		return nil, fmt.Errorf("graphio: degree sum %d != arcs %d", total, arcs)
+	}
+	lists := make([][]uint32, n)
+	for v := 0; v < n; v++ {
+		lists[v] = make([]uint32, degs[v])
+		if err := binary.Read(br, binary.LittleEndian, lists[v]); err != nil {
+			return nil, err
+		}
+	}
+	return graph.FromAdjacency(lists, 0)
+}

@@ -1,0 +1,158 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment
+% another comment
+0 1
+1 2 0.5
+2 0
+
+3 3
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("n=%d want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 3 { // self-loop 3-3 dropped
+		t.Fatalf("m=%d want 3", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 x\n", "5 999999999999999999999\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Fatalf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Fatalf("n=%d want 0", g.NumVertices())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g1, err := gen.ErdosRenyiGNM(100, 400, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("m: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	for v := 0; v < g2.NumVertices(); v++ {
+		if g1.Degree(uint32(v)) != g2.Degree(uint32(v)) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestReadMatrixMarket(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% comment
+4 4 4
+1 2
+2 3
+3 4
+4 1
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(3, 0) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n1 1 0\n",
+		"%%MatrixMarket matrix array real general\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n", // 0-indexed entry
+		"%%MatrixMarket matrix coordinate pattern general\nx y z\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	graphs := map[string]func() (*graph.Graph, error){
+		"er":    func() (*graph.Graph, error) { return gen.ErdosRenyiGNM(200, 1000, 5, 1) },
+		"empty": func() (*graph.Graph, error) { return graph.FromEdges(0, nil, 1) },
+		"lone":  func() (*graph.Graph, error) { return graph.FromEdges(3, nil, 1) },
+		"kron":  func() (*graph.Graph, error) { return gen.Kronecker(8, 8, 2, 1) },
+	}
+	for name, mk := range graphs {
+		g1, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g1); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+			t.Fatalf("%s: size mismatch", name)
+		}
+		for v := 0; v < g1.NumVertices(); v++ {
+			n1, n2 := g1.Neighbors(uint32(v)), g2.Neighbors(uint32(v))
+			if len(n1) != len(n2) {
+				t.Fatalf("%s: degree mismatch at %d", name, v)
+			}
+			for i := range n1 {
+				if n1[i] != n2[i] {
+					t.Fatalf("%s: adjacency mismatch at %d", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("short"))); err == nil {
+		t.Fatal("short input accepted")
+	}
+	bad := make([]byte, 64)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+}

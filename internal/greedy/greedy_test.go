@@ -1,0 +1,168 @@
+package greedy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/order"
+	"repro/internal/verify"
+)
+
+func graphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	add := func(name string) func(*graph.Graph, error) {
+		return func(g *graph.Graph, err error) {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out[name] = g
+		}
+	}
+	add("er")(gen.ErdosRenyiGNM(250, 1200, 1, 2))
+	add("ba")(gen.BarabasiAlbert(300, 4, 3, 2))
+	add("grid")(gen.Grid2D(12, 13, 2))
+	add("clique")(gen.Complete(20, 2))
+	add("star")(gen.Star(80, 2))
+	add("cycle")(gen.Cycle(21, 2))
+	add("bip")(gen.CompleteBipartite(9, 17, 2))
+	add("edgeless")(graph.FromEdges(5, nil, 1))
+	add("empty")(graph.FromEdges(0, nil, 1))
+	return out
+}
+
+func TestAllGreedyVariantsProper(t *testing.T) {
+	for gname, g := range graphs(t) {
+		results := map[string]*Result{
+			"FF": FF(g),
+			"LF": LF(g, 1),
+			"SL": SL(g),
+			"R":  R(g, 1),
+			"ID": ID(g),
+			"SD": SD(g),
+		}
+		for name, res := range results {
+			if g.NumVertices() == 0 {
+				continue
+			}
+			if err := verify.CheckProper(g, res.Colors); err != nil {
+				t.Errorf("%s/Greedy-%s: %v", gname, name, err)
+			}
+			if res.NumColors > g.MaxDegree()+1 {
+				t.Errorf("%s/Greedy-%s: %d colors > Δ+1", gname, name, res.NumColors)
+			}
+		}
+	}
+}
+
+func TestGreedySLDegeneracyBound(t *testing.T) {
+	for gname, g := range graphs(t) {
+		if g.NumVertices() == 0 {
+			continue
+		}
+		d := kcore.Degeneracy(g)
+		res := SL(g)
+		if res.NumColors > d+1 {
+			t.Errorf("%s: Greedy-SL used %d colors > d+1 = %d", gname, res.NumColors, d+1)
+		}
+	}
+}
+
+func TestSDOptimalOnEasyGraphs(t *testing.T) {
+	g := graphs(t)
+	// DSATUR is exact on bipartite graphs.
+	if res := SD(g["bip"]); res.NumColors != 2 {
+		t.Errorf("SD on K9,17: %d colors, want 2", res.NumColors)
+	}
+	if res := SD(g["grid"]); res.NumColors != 2 {
+		t.Errorf("SD on grid: %d colors, want 2", res.NumColors)
+	}
+	if res := SD(g["clique"]); res.NumColors != 20 {
+		t.Errorf("SD on K20: %d colors, want 20", res.NumColors)
+	}
+	// Odd cycle: chromatic number 3; DSATUR achieves it.
+	if res := SD(g["cycle"]); res.NumColors != 3 {
+		t.Errorf("SD on C21: %d colors, want 3", res.NumColors)
+	}
+	if res := SD(g["star"]); res.NumColors != 2 {
+		t.Errorf("SD on star: %d colors, want 2", res.NumColors)
+	}
+}
+
+func TestIDReasonableQuality(t *testing.T) {
+	g := graphs(t)["ba"]
+	d := kcore.Degeneracy(g)
+	res := ID(g)
+	// ID has no d-based guarantee but should stay within a small factor on
+	// BA graphs.
+	if res.NumColors > 4*d+4 {
+		t.Errorf("Greedy-ID used %d colors with d=%d", res.NumColors, d)
+	}
+}
+
+func TestGreedyMatchesJPOrderSemantics(t *testing.T) {
+	// Greedy with ordering X must equal the sequential simulation used in
+	// the JP tests: colors depend only on the order, here FF.
+	g := graphs(t)["er"]
+	res := FF(g)
+	n := g.NumVertices()
+	forbidden := make([]bool, g.MaxDegree()+2)
+	for v := 0; v < n; v++ {
+		for i := range forbidden {
+			forbidden[i] = false
+		}
+		for _, u := range g.Neighbors(uint32(v)) {
+			if u < uint32(v) {
+				forbidden[res.Colors[u]] = true
+			}
+		}
+		c := uint32(1)
+		for forbidden[c] {
+			c++
+		}
+		if res.Colors[v] != c {
+			t.Fatalf("greedy FF deviates from first-fit at %d", v)
+		}
+	}
+}
+
+func TestColorWithCustomOrdering(t *testing.T) {
+	g := graphs(t)["cycle"]
+	res := Color(g, order.Random(g, 99))
+	if err := verify.CheckProper(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyProperty(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		g, err := gen.ErdosRenyiGNM(n, int64(mRaw)%150, seed, 1)
+		if err != nil {
+			return false
+		}
+		for _, res := range []*Result{FF(g), SL(g), SD(g), ID(g), R(g, seed)} {
+			if !verify.IsProper(g, res.Colors, 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreedySD(b *testing.B) {
+	g, err := gen.Kronecker(12, 8, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SD(g)
+	}
+}

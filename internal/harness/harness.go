@@ -1,0 +1,236 @@
+// Package harness drives the reproduction of the paper's evaluation (§VI):
+// it registers every implemented coloring algorithm behind a uniform
+// interface with the reordering/coloring phase split of Fig. 1, builds the
+// synthetic dataset suite standing in for Table V, and regenerates each
+// table and figure (see DESIGN.md's experiment index E1–E9).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/greedy"
+	"repro/internal/jp"
+	"repro/internal/kcore"
+	"repro/internal/mis"
+	"repro/internal/order"
+	"repro/internal/spec"
+	"repro/internal/verify"
+)
+
+// Class buckets algorithms the way Fig. 1 does.
+type Class string
+
+const (
+	// ClassJP is the Jones–Plassmann (color-scheduling) family.
+	ClassJP Class = "JP"
+	// ClassSC is the speculative-coloring family.
+	ClassSC Class = "SC"
+	// ClassSeq is the sequential Greedy family (Table III class 2).
+	ClassSeq Class = "Seq"
+	// ClassMIS is the MIS-based family (Table III class 1).
+	ClassMIS Class = "MIS"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Procs   int
+	Seed    uint64
+	Epsilon float64
+}
+
+// RunResult is the uniform outcome record.
+type RunResult struct {
+	Colors         []uint32
+	NumColors      int
+	ReorderSeconds float64 // ordering / decomposition phase
+	ColorSeconds   float64 // coloring phase
+	Rounds         int     // parallel rounds (JP frontier rounds or
+	// speculative rounds)
+	Conflicts    int64 // re-colorings (speculative schemes)
+	EdgesScanned int64 // work proxy
+	AtomicOps    int64 // memory-pressure proxy (Fig. 4)
+	// OrderIterations is the ordering phase's parallel round count
+	// (ADG's O(log n) iterations; n for the sequential orders).
+	OrderIterations int
+}
+
+// TotalSeconds is the full runtime.
+func (r *RunResult) TotalSeconds() float64 { return r.ReorderSeconds + r.ColorSeconds }
+
+// Algorithm is a registered coloring scheme.
+type Algorithm struct {
+	Name  string
+	Class Class
+	Run   func(g *graph.Graph, cfg Config) *RunResult
+}
+
+// timed measures fn.
+func timed(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+func jpAlgo(name string, mkOrder func(g *graph.Graph, cfg Config) *order.Ordering) Algorithm {
+	return Algorithm{
+		Name:  name,
+		Class: ClassJP,
+		Run: func(g *graph.Graph, cfg Config) *RunResult {
+			res := &RunResult{}
+			var ord *order.Ordering
+			res.ReorderSeconds = timed(func() { ord = mkOrder(g, cfg) })
+			res.OrderIterations = ord.Iterations
+			var jr *jp.Result
+			res.ColorSeconds = timed(func() { jr = jp.Color(g, ord, cfg.Procs) })
+			res.Colors = jr.Colors
+			res.NumColors = jr.NumColors
+			res.Rounds = jr.Rounds
+			res.EdgesScanned = jr.EdgesScanned
+			res.AtomicOps = jr.AtomicOps
+			return res
+		},
+	}
+}
+
+func specAlgo(name string, run func(g *graph.Graph, cfg Config) *spec.Result) Algorithm {
+	return Algorithm{
+		Name:  name,
+		Class: ClassSC,
+		Run: func(g *graph.Graph, cfg Config) *RunResult {
+			res := &RunResult{}
+			var sr *spec.Result
+			res.ColorSeconds = timed(func() { sr = run(g, cfg) })
+			res.Colors = sr.Colors
+			res.NumColors = sr.NumColors
+			res.Rounds = sr.Rounds
+			res.Conflicts = sr.Conflicts
+			res.EdgesScanned = sr.EdgesScanned
+			return res
+		},
+	}
+}
+
+func decAlgo(name string, median, itrRule bool) Algorithm {
+	return Algorithm{
+		Name:  name,
+		Class: ClassSC,
+		Run: func(g *graph.Graph, cfg Config) *RunResult {
+			opts := spec.Options{Procs: cfg.Procs, Seed: cfg.Seed, Epsilon: cfg.Epsilon}
+			res := &RunResult{}
+			var ord *order.Ordering
+			res.ReorderSeconds = timed(func() { ord = spec.DecomposeOrdering(g, opts, median) })
+			res.OrderIterations = ord.Iterations
+			var sr *spec.Result
+			res.ColorSeconds = timed(func() { sr = spec.ColorDecomposition(g, ord, opts, itrRule) })
+			res.Colors = sr.Colors
+			res.NumColors = sr.NumColors
+			res.Rounds = sr.Rounds
+			res.Conflicts = sr.Conflicts
+			res.EdgesScanned = sr.EdgesScanned
+			return res
+		},
+	}
+}
+
+func seqAlgo(name string, run func(g *graph.Graph, cfg Config) *greedy.Result) Algorithm {
+	return Algorithm{
+		Name:  name,
+		Class: ClassSeq,
+		Run: func(g *graph.Graph, cfg Config) *RunResult {
+			res := &RunResult{}
+			var gr *greedy.Result
+			res.ColorSeconds = timed(func() { gr = run(g, cfg) })
+			res.Colors = gr.Colors
+			res.NumColors = gr.NumColors
+			return res
+		},
+	}
+}
+
+// Registry returns every implemented algorithm keyed by name.
+func Registry() []Algorithm {
+	return []Algorithm{
+		// Jones–Plassmann family (Table III class 3).
+		jpAlgo("JP-FF", func(g *graph.Graph, cfg Config) *order.Ordering { return order.FirstFit(g) }),
+		jpAlgo("JP-R", func(g *graph.Graph, cfg Config) *order.Ordering { return order.Random(g, cfg.Seed) }),
+		jpAlgo("JP-LF", func(g *graph.Graph, cfg Config) *order.Ordering { return order.LargestFirst(g, cfg.Seed) }),
+		jpAlgo("JP-LLF", func(g *graph.Graph, cfg Config) *order.Ordering { return order.LargestLogFirst(g, cfg.Seed) }),
+		jpAlgo("JP-SL", func(g *graph.Graph, cfg Config) *order.Ordering { return order.SmallestLast(g) }),
+		jpAlgo("JP-SLL", func(g *graph.Graph, cfg Config) *order.Ordering {
+			return order.SmallestLogLast(g, cfg.Seed, cfg.Procs)
+		}),
+		jpAlgo("JP-ASL", func(g *graph.Graph, cfg Config) *order.Ordering {
+			return order.ApproxSmallestLast(g, cfg.Seed, cfg.Procs)
+		}),
+		jpAlgo("JP-ADG", func(g *graph.Graph, cfg Config) *order.Ordering {
+			return order.ADG(g, order.ADGOptions{Epsilon: cfg.Epsilon, Procs: cfg.Procs, Seed: cfg.Seed, Sorted: true})
+		}),
+		jpAlgo("JP-ADG-M", func(g *graph.Graph, cfg Config) *order.Ordering {
+			return order.ADG(g, order.ADGOptions{Median: true, Procs: cfg.Procs, Seed: cfg.Seed, Sorted: true})
+		}),
+		// Speculative family (class 1 + contributions #3/#4).
+		specAlgo("ITR", func(g *graph.Graph, cfg Config) *spec.Result {
+			return spec.ITR(g, spec.Options{Procs: cfg.Procs, Seed: cfg.Seed})
+		}),
+		specAlgo("ITRB", func(g *graph.Graph, cfg Config) *spec.Result {
+			return spec.ITRB(g, spec.Options{Procs: cfg.Procs, Seed: cfg.Seed})
+		}),
+		specAlgo("GM", func(g *graph.Graph, cfg Config) *spec.Result {
+			return spec.GM(g, spec.Options{Procs: cfg.Procs, Seed: cfg.Seed})
+		}),
+		decAlgo("DEC-ADG", false, false),
+		decAlgo("DEC-ADG-ITR", false, true),
+		// MIS family.
+		{
+			Name:  "Luby-MIS",
+			Class: ClassMIS,
+			Run: func(g *graph.Graph, cfg Config) *RunResult {
+				res := &RunResult{}
+				var mr *mis.Result
+				res.ColorSeconds = timed(func() { mr = mis.ColorByMIS(g, cfg.Seed, cfg.Procs) })
+				res.Colors = mr.Colors
+				res.NumColors = mr.NumColors
+				res.Rounds = mr.Rounds
+				return res
+			},
+		},
+		// Sequential Greedy yardsticks (Table III class 2).
+		seqAlgo("Greedy-ID", func(g *graph.Graph, cfg Config) *greedy.Result { return greedy.ID(g) }),
+		seqAlgo("Greedy-SD", func(g *graph.Graph, cfg Config) *greedy.Result { return greedy.SD(g) }),
+	}
+}
+
+// Lookup returns the registered algorithm with the given name.
+func Lookup(name string) (Algorithm, error) {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Algorithm{}, fmt.Errorf("harness: unknown algorithm %q", name)
+}
+
+// Names lists registry names in order.
+func Names() []string {
+	var out []string
+	for _, a := range Registry() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// RunChecked runs a and verifies the coloring, returning an error on an
+// improper result — used everywhere so no experiment can report numbers
+// from a broken coloring.
+func RunChecked(a Algorithm, g *graph.Graph, cfg Config) (*RunResult, error) {
+	res := a.Run(g, cfg)
+	if err := verify.CheckProper(g, res.Colors); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	return res, nil
+}
+
+// Degeneracy is re-exported for convenience of cmd tools.
+func Degeneracy(g *graph.Graph) int { return kcore.Degeneracy(g) }

@@ -1,0 +1,154 @@
+// Package kcore computes the exact k-core decomposition (coreness) of a
+// graph using the linear-time bucket peeling of Matula–Beck [28], which the
+// paper recalls in §II-B. The graph's degeneracy d is the maximum coreness;
+// the removal sequence is the exact degeneracy ordering used by SL and is
+// the quality yardstick for ADG's approximation.
+package kcore
+
+import (
+	"repro/internal/graph"
+)
+
+// Decomposition is the result of exact k-core peeling.
+type Decomposition struct {
+	// Coreness[v] is the largest k such that v belongs to a subgraph of
+	// minimum degree k.
+	Coreness []int32
+	// Order is the peeling sequence: Order[i] is the i-th removed vertex.
+	// Each vertex has at most Degeneracy neighbors later in this order.
+	Order []uint32
+	// Pos[v] is v's index in Order.
+	Pos []int32
+	// Degeneracy is the maximum coreness (the d of Table I).
+	Degeneracy int
+}
+
+// Decompose peels g by repeatedly removing a minimum-degree vertex.
+// It runs in O(n + m) time using bucketed degrees.
+func Decompose(g *graph.Graph) *Decomposition {
+	n := g.NumVertices()
+	dec := &Decomposition{
+		Coreness: make([]int32, n),
+		Order:    make([]uint32, n),
+		Pos:      make([]int32, n),
+	}
+	if n == 0 {
+		return dec
+	}
+	// Batagelj–Zaveršnik O(n+m) core decomposition.
+	maxDeg := g.MaxDegree()
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(uint32(v)))
+	}
+	// bin[d] = start offset of the degree-d block inside vert.
+	bin := make([]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	var startOff int32
+	for d := 0; d <= maxDeg; d++ {
+		count := bin[d]
+		bin[d] = startOff
+		startOff += count
+	}
+	vert := make([]uint32, n) // vertices sorted by current degree
+	pos := make([]int32, n)   // position of v in vert
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = uint32(v)
+		bin[deg[v]]++
+	}
+	// Restore bin to block starts.
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	degeneracy := int32(0)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		if deg[v] > degeneracy {
+			degeneracy = deg[v]
+		}
+		dec.Coreness[v] = deg[v]
+		dec.Order[i] = v
+		dec.Pos[v] = int32(i)
+		for _, u := range g.Neighbors(v) {
+			if deg[u] > deg[v] {
+				du, pu := deg[u], pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					vert[pu], vert[pw] = w, u
+					pos[u], pos[w] = pw, pu
+				}
+				bin[du]++
+				deg[u]--
+			}
+		}
+	}
+	dec.Degeneracy = int(degeneracy)
+	return dec
+}
+
+// Degeneracy returns just the degeneracy d of g.
+func Degeneracy(g *graph.Graph) int {
+	return Decompose(g).Degeneracy
+}
+
+// BruteForceDegeneracy computes d by repeatedly deleting a minimum-degree
+// vertex using a naive O(n^2 + nm) scan. For cross-checking Decompose in
+// tests on small graphs only.
+func BruteForceDegeneracy(g *graph.Graph) int {
+	n := g.NumVertices()
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(uint32(v))
+	}
+	d := 0
+	for removed := 0; removed < n; removed++ {
+		min, minV := 1<<30, -1
+		for v := 0; v < n; v++ {
+			if alive[v] && deg[v] < min {
+				min, minV = deg[v], v
+			}
+		}
+		if min > d {
+			d = min
+		}
+		alive[minV] = false
+		for _, u := range g.Neighbors(uint32(minV)) {
+			if alive[u] {
+				deg[u]--
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return d
+}
+
+// MaxBackNeighbors returns, for an ordering position array pos (pos[v] =
+// rank of v, later-removed = larger), the maximum over vertices v of the
+// number of neighbors u with pos[u] > pos[v]. For the exact degeneracy
+// order this equals the degeneracy.
+func MaxBackNeighbors(g *graph.Graph, pos []int32) int {
+	n := g.NumVertices()
+	max := 0
+	for v := 0; v < n; v++ {
+		c := 0
+		for _, u := range g.Neighbors(uint32(v)) {
+			if pos[u] > pos[v] {
+				c++
+			}
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

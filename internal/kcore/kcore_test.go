@@ -1,0 +1,207 @@
+package kcore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestKnownDegeneracies(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() (*graph.Graph, error)
+		want int
+	}{
+		{"empty", func() (*graph.Graph, error) { return graph.FromEdges(0, nil, 1) }, 0},
+		{"edgeless", func() (*graph.Graph, error) { return graph.FromEdges(5, nil, 1) }, 0},
+		{"single-edge", func() (*graph.Graph, error) {
+			return graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}, 1)
+		}, 1},
+		{"path", func() (*graph.Graph, error) { return gen.Path(50, 1) }, 1},
+		{"star", func() (*graph.Graph, error) { return gen.Star(50, 1) }, 1},
+		{"caterpillar", func() (*graph.Graph, error) { return gen.Caterpillar(10, 4, 1) }, 1},
+		{"cycle", func() (*graph.Graph, error) { return gen.Cycle(50, 1) }, 2},
+		{"grid", func() (*graph.Graph, error) { return gen.Grid2D(8, 9, 1) }, 2},
+		{"K7", func() (*graph.Graph, error) { return gen.Complete(7, 1) }, 6},
+		{"K3,9", func() (*graph.Graph, error) { return gen.CompleteBipartite(3, 9, 1) }, 3},
+		{"torus", func() (*graph.Graph, error) { return gen.Torus2D(5, 5, 1) }, 4},
+	}
+	for _, c := range cases {
+		g, err := c.make()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := Degeneracy(g); got != c.want {
+			t.Errorf("%s: degeneracy=%d want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBarabasiAlbertDegeneracy(t *testing.T) {
+	// BA with attachment k has degeneracy exactly k (each new vertex has
+	// degree k when peeled in reverse insertion order).
+	for _, k := range []int{1, 2, 3, 5} {
+		g, err := gen.BarabasiAlbert(300, k, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Degeneracy(g); got != k {
+			t.Errorf("BA k=%d: degeneracy=%d", k, got)
+		}
+	}
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		m := int64(mRaw) % 120
+		g, err := gen.ErdosRenyiGNM(n, m, seed, 1)
+		if err != nil {
+			return false
+		}
+		return Degeneracy(g) == BruteForceDegeneracy(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderIsDegeneracyOrdering(t *testing.T) {
+	// In the peeling order, every vertex has at most d neighbors placed
+	// later — the defining property of a degeneracy ordering (§II-B).
+	graphs := []*graph.Graph{}
+	for seed := uint64(1); seed <= 5; seed++ {
+		g, err := gen.ErdosRenyiGNM(200, 800, seed, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	kg, _ := gen.Kronecker(9, 8, 3, 1)
+	graphs = append(graphs, kg)
+	for gi, g := range graphs {
+		dec := Decompose(g)
+		if got := MaxBackNeighbors(g, dec.Pos); got != dec.Degeneracy {
+			t.Errorf("graph %d: max back-neighbors %d != degeneracy %d", gi, got, dec.Degeneracy)
+		}
+	}
+}
+
+func TestCorenessProperties(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(150, 600, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Decompose(g)
+	n := g.NumVertices()
+	// Coreness is bounded by degree and by degeneracy.
+	for v := 0; v < n; v++ {
+		c := int(dec.Coreness[v])
+		if c > g.Degree(uint32(v)) {
+			t.Fatalf("coreness[%d]=%d > degree %d", v, c, g.Degree(uint32(v)))
+		}
+		if c > dec.Degeneracy {
+			t.Fatalf("coreness[%d]=%d > degeneracy %d", v, c, dec.Degeneracy)
+		}
+	}
+	// The d-core is non-empty: every vertex in the max-core set has >= d
+	// neighbors inside the set.
+	d := dec.Degeneracy
+	inCore := make([]bool, n)
+	sz := 0
+	for v := 0; v < n; v++ {
+		if int(dec.Coreness[v]) >= d {
+			inCore[v] = true
+			sz++
+		}
+	}
+	if sz == 0 {
+		t.Fatal("empty max core")
+	}
+	for v := 0; v < n; v++ {
+		if !inCore[v] {
+			continue
+		}
+		cnt := 0
+		for _, u := range g.Neighbors(uint32(v)) {
+			if inCore[u] {
+				cnt++
+			}
+		}
+		if cnt < d {
+			t.Fatalf("vertex %d in %d-core has only %d core neighbors", v, d, cnt)
+		}
+	}
+}
+
+func TestCorenessMonotoneAlongOrder(t *testing.T) {
+	g, err := gen.Kronecker(8, 10, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Decompose(g)
+	// Coreness values along the peel order never decrease.
+	prev := int32(0)
+	for _, v := range dec.Order {
+		if dec.Coreness[v] < prev {
+			t.Fatalf("coreness decreased along peel order: %d after %d", dec.Coreness[v], prev)
+		}
+		prev = dec.Coreness[v]
+	}
+}
+
+func TestPosIsInverseOfOrder(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(100, 300, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Decompose(g)
+	for i, v := range dec.Order {
+		if int(dec.Pos[v]) != i {
+			t.Fatalf("Pos[Order[%d]] = %d", i, dec.Pos[v])
+		}
+	}
+}
+
+func TestAverageDegreeLemma(t *testing.T) {
+	// Lemma 3: every induced subgraph of a d-degenerate graph has average
+	// degree <= 2d. Spot-check random induced subgraphs.
+	g, err := gen.BarabasiAlbert(400, 3, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Degeneracy(g)
+	r := xrand.New(99)
+	for trial := 0; trial < 20; trial++ {
+		var set []uint32
+		for v := 0; v < g.NumVertices(); v++ {
+			if r.Bool() {
+				set = append(set, uint32(v))
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		sub, _, err := g.InducedSubgraph(set, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg := sub.AvgDegree(); avg > float64(2*d) {
+			t.Fatalf("induced subgraph avg degree %.2f > 2d = %d", avg, 2*d)
+		}
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	g, err := gen.Kronecker(14, 16, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(g)
+	}
+}

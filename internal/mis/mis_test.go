@@ -1,0 +1,145 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestLubyIndependentAndMaximal(t *testing.T) {
+	graphs := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return gen.ErdosRenyiGNM(300, 1200, 1, 2) },
+		func() (*graph.Graph, error) { return gen.Kronecker(8, 8, 2, 2) },
+		func() (*graph.Graph, error) { return gen.Complete(20, 2) },
+		func() (*graph.Graph, error) { return gen.Star(50, 2) },
+		func() (*graph.Graph, error) { return gen.Grid2D(10, 10, 2) },
+	}
+	for gi, mk := range graphs {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive := make([]bool, g.NumVertices())
+		for i := range alive {
+			alive[i] = true
+		}
+		set, rounds := Luby(g, alive, 7, 2)
+		if !IsIndependent(g, set) {
+			t.Errorf("graph %d: Luby set not independent", gi)
+		}
+		if !IsMaximal(g, alive, set) {
+			t.Errorf("graph %d: Luby set not maximal", gi)
+		}
+		if rounds <= 0 {
+			t.Errorf("graph %d: rounds=%d", gi, rounds)
+		}
+	}
+}
+
+func TestLubyOnSubset(t *testing.T) {
+	g, err := gen.Cycle(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := make([]bool, 20)
+	for v := 0; v < 10; v++ {
+		alive[v] = true
+	}
+	set, _ := Luby(g, alive, 3, 2)
+	for _, v := range set {
+		if !alive[v] {
+			t.Fatalf("dead vertex %d in MIS", v)
+		}
+	}
+	if !IsIndependent(g, set) || !IsMaximal(g, alive, set) {
+		t.Fatal("subset MIS invalid")
+	}
+}
+
+func TestLubyEmpty(t *testing.T) {
+	g, err := graph.FromEdges(5, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _ := Luby(g, make([]bool, 5), 1, 2)
+	if len(set) != 0 {
+		t.Fatal("MIS of empty alive set not empty")
+	}
+}
+
+func TestColorByMISProper(t *testing.T) {
+	g, err := gen.Kronecker(9, 8, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ColorByMIS(g, 11, 2)
+	if err := verify.CheckProper(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors > g.MaxDegree()+1 {
+		t.Fatalf("MIS coloring used %d colors > Δ+1 = %d", res.NumColors, g.MaxDegree()+1)
+	}
+	if res.Peels != res.NumColors {
+		t.Fatalf("peels %d != colors %d", res.Peels, res.NumColors)
+	}
+}
+
+func TestColorByMISEdgeCases(t *testing.T) {
+	empty, _ := graph.FromEdges(0, nil, 1)
+	if res := ColorByMIS(empty, 1, 2); res.NumColors != 0 {
+		t.Fatal("empty graph colored")
+	}
+	lone, _ := graph.FromEdges(4, nil, 1)
+	if res := ColorByMIS(lone, 1, 2); res.NumColors != 1 {
+		t.Fatal("edgeless graph needs exactly 1 color")
+	}
+	k2, _ := gen.Complete(2, 1)
+	if res := ColorByMIS(k2, 1, 2); res.NumColors != 2 {
+		t.Fatal("K2 needs 2 colors")
+	}
+}
+
+func TestMISColoringProperty(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		g, err := gen.ErdosRenyiGNM(n, int64(mRaw)%150, seed, 1)
+		if err != nil {
+			return false
+		}
+		res := ColorByMIS(g, seed, 2)
+		return verify.IsProper(g, res.Colors, 2) && res.NumColors <= g.MaxDegree()+1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAcrossProcs(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(200, 800, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ColorByMIS(g, 9, 1)
+	for _, p := range []int{2, 4} {
+		res := ColorByMIS(g, 9, p)
+		for v := range base.Colors {
+			if res.Colors[v] != base.Colors[v] {
+				t.Fatalf("MIS coloring differs between p=1 and p=%d", p)
+			}
+		}
+	}
+}
+
+func BenchmarkColorByMIS(b *testing.B) {
+	g, err := gen.Kronecker(12, 8, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ColorByMIS(g, 1, 0)
+	}
+}

@@ -1,0 +1,239 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+)
+
+func allBasicOrderings(g *graph.Graph) map[string]*Ordering {
+	return map[string]*Ordering{
+		"FF":  FirstFit(g),
+		"R":   Random(g, 1),
+		"LF":  LargestFirst(g, 1),
+		"LLF": LargestLogFirst(g, 1),
+		"SL":  SmallestLast(g),
+		"SLL": SmallestLogLast(g, 1, 2),
+		"ID":  IncidenceDegree(g),
+		"ASL": ApproxSmallestLast(g, 1, 2),
+	}
+}
+
+func TestBasicOrderingsValid(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		for oname, o := range allBasicOrderings(g) {
+			if err := o.Validate(g); err != nil {
+				t.Errorf("%s/%s: %v", gname, oname, err)
+			}
+		}
+	}
+}
+
+func TestSLExactDegeneracy(t *testing.T) {
+	// SL is the exact degeneracy ordering: the max number of higher-ranked
+	// neighbors equals d, so JP-SL uses ≤ d+1 colors (Table III).
+	for gname, g := range testGraphs(t) {
+		d := kcore.Degeneracy(g)
+		o := SmallestLast(g)
+		if got := MaxPredecessors(g, o.Keys); got != d {
+			t.Errorf("%s: SL max predecessors %d != degeneracy %d", gname, got, d)
+		}
+	}
+}
+
+func TestFFNaturalOrder(t *testing.T) {
+	g, _ := gen.Path(10, 1)
+	o := FirstFit(g)
+	// Vertex 0 must have the highest key (colored first).
+	for v := 1; v < 10; v++ {
+		if o.Keys[v] >= o.Keys[0] {
+			t.Fatalf("FF: vertex %d not ranked below vertex 0", v)
+		}
+	}
+}
+
+func TestLFDegreesDominate(t *testing.T) {
+	g, _ := gen.Star(50, 1)
+	o := LargestFirst(g, 3)
+	// The hub has degree 49, every leaf 1: hub must have the highest key.
+	for v := 1; v < 50; v++ {
+		if o.Keys[v] >= o.Keys[0] {
+			t.Fatalf("LF: leaf %d outranks hub", v)
+		}
+	}
+}
+
+func TestLLFLogClasses(t *testing.T) {
+	g, _ := gen.Star(100, 1)
+	o := LargestLogFirst(g, 3)
+	// All leaves share the same log-class rank; the hub is strictly higher.
+	leafRank := o.Rank[1]
+	for v := 2; v < 100; v++ {
+		if o.Rank[v] != leafRank {
+			t.Fatal("LLF: leaves in different log classes")
+		}
+	}
+	if o.Rank[0] <= leafRank {
+		t.Fatal("LLF: hub not above leaves")
+	}
+}
+
+func TestSLLApproximatesSL(t *testing.T) {
+	// SLL has no guaranteed factor but must stay within a small constant
+	// of d on these benign graphs, and must need far fewer rounds than n.
+	for _, gname := range []string{"er", "ba", "grid", "kron"} {
+		g := testGraphs(t)[gname]
+		d := kcore.Degeneracy(g)
+		o := SmallestLogLast(g, 1, 2)
+		got := MaxPredecessors(g, o.Keys)
+		if got > 4*d+4 {
+			t.Errorf("%s: SLL max predecessors %d ≫ d=%d", gname, got, d)
+		}
+		if o.Iterations >= g.NumVertices()/2 {
+			t.Errorf("%s: SLL used %d rounds for n=%d — not batched",
+				gname, o.Iterations, g.NumVertices())
+		}
+	}
+}
+
+func TestIDOrderingIsSequentialGreedyOrder(t *testing.T) {
+	// ID ranks must be a permutation of n-seq values: all distinct.
+	g := testGraphs(t)["er"]
+	o := IncidenceDegree(g)
+	seen := map[uint32]bool{}
+	for _, r := range o.Rank {
+		if seen[r] {
+			t.Fatal("ID ranks not distinct")
+		}
+		seen[r] = true
+	}
+}
+
+func TestASLCoversAllVertices(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		g := testGraphs(t)["comm"]
+		o := ApproxSmallestLast(g, 2, p)
+		if err := o.Validate(g); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		n := g.NumVertices()
+		seen := make([]bool, n)
+		for _, r := range o.Rank {
+			if int(r) >= n || seen[r] {
+				t.Fatalf("p=%d: ASL ranks not a permutation", p)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestASLSequentialEqualsSL(t *testing.T) {
+	// With one worker ASL degenerates to exact SL (global min each step up
+	// to tie-breaking), so its max-predecessor count must equal d.
+	for _, gname := range []string{"er", "grid", "ba"} {
+		g := testGraphs(t)[gname]
+		d := kcore.Degeneracy(g)
+		o := ApproxSmallestLast(g, 1, 1)
+		if got := MaxPredecessors(g, o.Keys); got != d {
+			t.Errorf("%s: sequential ASL max preds %d != d=%d", gname, got, d)
+		}
+	}
+}
+
+func TestRandomOrderingUniformRanks(t *testing.T) {
+	g, _ := gen.Path(100, 1)
+	o := Random(g, 5)
+	for _, r := range o.Rank {
+		if r != 0 {
+			t.Fatal("R ordering should have all-zero primary rank")
+		}
+	}
+	// But keys must still be distinct.
+	if err := o.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	// On a path graph with FF priorities (monotone along the path), the
+	// DAG is the whole path: longest path = n.
+	g, _ := gen.Path(20, 1)
+	o := FirstFit(g)
+	if got := LongestPath(g, o.Keys); got != 20 {
+		t.Fatalf("FF path longest = %d want 20", got)
+	}
+	// Random priorities on a path give expected O(log n) longest path;
+	// assert a generous bound.
+	o2 := Random(g, 7)
+	if got := LongestPath(g, o2.Keys); got > 15 {
+		t.Fatalf("random path longest = %d suspiciously long", got)
+	}
+	// Clique: any total order gives a Hamiltonian path in the DAG.
+	kg, _ := gen.Complete(8, 1)
+	if got := LongestPath(kg, Random(kg, 1).Keys); got != 8 {
+		t.Fatalf("clique longest = %d want 8", got)
+	}
+}
+
+func TestLongestPathEmpty(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil, 1)
+	if LongestPath(g, nil) != 0 {
+		t.Fatal("empty graph longest path != 0")
+	}
+}
+
+func TestMaxPredecessorsVsRankNeighbors(t *testing.T) {
+	// MaxPredecessors (strict, over keys) is at most
+	// MaxEqualOrHigherRankNeighbors (non-strict, over ranks).
+	for gname, g := range testGraphs(t) {
+		for oname, o := range allBasicOrderings(g) {
+			strict := MaxPredecessors(g, o.Keys)
+			loose := MaxEqualOrHigherRankNeighbors(g, o.Rank)
+			if strict > loose {
+				t.Errorf("%s/%s: strict %d > loose %d", gname, oname, strict, loose)
+			}
+		}
+	}
+}
+
+func TestNewFromRanksDeterministic(t *testing.T) {
+	ranks := []uint32{5, 5, 2, 7}
+	a := NewFromRanks("x", ranks, 42)
+	b := NewFromRanks("x", ranks, 42)
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			t.Fatal("NewFromRanks not deterministic")
+		}
+	}
+	c := NewFromRanks("x", ranks, 43)
+	same := true
+	for i := range a.Keys {
+		if a.Keys[i] != c.Keys[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical tie-breaks")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g, _ := gen.Path(5, 1)
+	o := Random(g, 1)
+	o.Keys[0] = o.Keys[1]
+	if err := o.Validate(g); err == nil {
+		t.Fatal("duplicate key not caught")
+	}
+	o2 := Random(g, 1)
+	o2.Rank[0] = 9
+	if err := o2.Validate(g); err == nil {
+		t.Fatal("rank/key mismatch not caught")
+	}
+	o3 := Random(g, 1)
+	o3.Keys = o3.Keys[:3]
+	if err := o3.Validate(g); err == nil {
+		t.Fatal("length mismatch not caught")
+	}
+}

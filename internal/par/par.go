@@ -1,0 +1,363 @@
+// Package par implements the work–depth style parallel primitives the paper
+// assumes in §II-C/§II-D: parallel For, Reduce, Count, PrefixSum, Filter and
+// the DecrementAndFetch/Join atomics used by ADG and Jones–Plassmann.
+//
+// Parallelism is expressed over an explicit worker count p so that the
+// scaling experiments (Fig. 2) can sweep p independently of GOMAXPROCS and
+// so that p = 1 gives a deterministic sequential execution for tests.
+// Chunking is static (contiguous blocks) which matches the CSR layout and
+// keeps per-worker memory streams contiguous — the same locality argument
+// the paper makes for its array-based U/R representation (§V-A).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultProcs returns the worker count used when a caller passes p <= 0:
+// the current GOMAXPROCS setting.
+func DefaultProcs() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampProcs normalizes a requested worker count against the problem size.
+func clampProcs(p, n int) int {
+	if p <= 0 {
+		p = DefaultProcs()
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// For runs body(i) for every i in [0, n) using p workers.
+// Iterations are distributed in contiguous blocks. For n == 0 it returns
+// immediately. p <= 0 selects DefaultProcs().
+func For(p, n int, body func(i int)) {
+	ForBlocks(p, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForBlocks partitions [0, n) into at most p contiguous blocks and runs
+// body(lo, hi) on each block in parallel. This is the primitive all other
+// loops build on; use it directly when per-worker state (scratch buffers,
+// RNG streams) is needed.
+func ForBlocks(p, n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p = clampProcs(p, n)
+	if p == 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForWorkers runs body(worker, lo, hi) like ForBlocks but also passes the
+// worker index in [0, p'), where p' <= p is the number of blocks actually
+// spawned. Useful for indexing per-worker scratch space.
+func ForWorkers(p, n int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p = clampProcs(p, n)
+	if p == 1 {
+		body(0, 0, n)
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	worker := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(worker, lo, hi)
+		worker++
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs body(i) for i in [0, n) with dynamic (grabbed) scheduling
+// in grain-sized chunks. Use for irregular per-iteration cost (e.g. vertices
+// with wildly different degrees, DEC-ADG-ITR's dynamic scheduling §VI).
+func ForDynamic(p, n, grain int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p = clampProcs(p, n)
+	if grain < 1 {
+		grain = 1
+	}
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ReduceInt64 computes the sum over i in [0, n) of f(i) with p workers in
+// O(n/p + log p) time — the paper's Reduce primitive (§II-D).
+func ReduceInt64(p, n int, f func(i int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	p = clampProcs(p, n)
+	if p == 1 {
+		var s int64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	partial := make([]int64, p)
+	ForWorkers(p, n, func(w, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[w] = s
+	})
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// ReduceFloat64 is ReduceInt64 for float64 values.
+func ReduceFloat64(p, n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p = clampProcs(p, n)
+	if p == 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	partial := make([]float64, p)
+	ForWorkers(p, n, func(w, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[w] = s
+	})
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// Count returns |{i in [0,n) : pred(i)}| — the paper's Count primitive,
+// implemented as a Reduce with the indicator operator (§II-D).
+func Count(p, n int, pred func(i int) bool) int {
+	return int(ReduceInt64(p, n, func(i int) int64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	}))
+}
+
+// MaxInt64 returns the maximum of f(i) over [0, n); it returns def for n==0.
+func MaxInt64(p, n int, def int64, f func(i int) int64) int64 {
+	if n <= 0 {
+		return def
+	}
+	p = clampProcs(p, n)
+	partial := make([]int64, p)
+	for i := range partial {
+		partial[i] = def
+	}
+	ForWorkers(p, n, func(w, lo, hi int) {
+		m := def
+		for i := lo; i < hi; i++ {
+			if v := f(i); v > m {
+				m = v
+			}
+		}
+		partial[w] = m
+	})
+	m := def
+	for _, v := range partial {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinInt64 returns the minimum of f(i) over [0, n); it returns def for n==0.
+func MinInt64(p, n int, def int64, f func(i int) int64) int64 {
+	return -MaxInt64(p, n, -def, func(i int) int64 { return -f(i) })
+}
+
+// PrefixSumInt32 computes the exclusive prefix sum of src into dst and
+// returns the total. dst must have length len(src)+1; dst[0] = 0 and
+// dst[len(src)] = total. Two-pass blocked scan: O(n) work, O(n/p + p) time.
+func PrefixSumInt32(p int, src []int32, dst []int64) int64 {
+	n := len(src)
+	if len(dst) != n+1 {
+		panic("par: PrefixSumInt32 requires len(dst) == len(src)+1")
+	}
+	if n == 0 {
+		dst[0] = 0
+		return 0
+	}
+	p = clampProcs(p, n)
+	if p == 1 {
+		var run int64
+		for i, v := range src {
+			dst[i] = run
+			run += int64(v)
+		}
+		dst[n] = run
+		return run
+	}
+	chunk := (n + p - 1) / p
+	blocks := (n + chunk - 1) / chunk
+	sums := make([]int64, blocks)
+	ForWorkers(p, n, func(w, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(src[i])
+		}
+		sums[w] = s
+	})
+	var run int64
+	for i, s := range sums {
+		sums[i] = run
+		run += s
+	}
+	total := run
+	ForWorkers(p, n, func(w, lo, hi int) {
+		acc := sums[w]
+		for i := lo; i < hi; i++ {
+			dst[i] = acc
+			acc += int64(src[i])
+		}
+	})
+	dst[n] = total
+	return total
+}
+
+// Pack writes the indices i in [0, n) with keep(i) into a fresh slice,
+// preserving order. It is the Filter/Pack primitive built from a prefix sum.
+func Pack(p, n int, keep func(i int) bool) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	p = clampProcs(p, n)
+	if p == 1 {
+		out := make([]uint32, 0, 16)
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+	chunk := (n + p - 1) / p
+	blocks := (n + chunk - 1) / chunk
+	counts := make([]int32, blocks)
+	ForWorkers(p, n, func(w, lo, hi int) {
+		var c int32
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[w] = c
+	})
+	offsets := make([]int64, blocks+1)
+	total := PrefixSumInt32(1, counts, offsets)
+	out := make([]uint32, total)
+	ForWorkers(p, n, func(w, lo, hi int) {
+		pos := offsets[w]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[pos] = uint32(i)
+				pos++
+			}
+		}
+	})
+	return out
+}
+
+// DecrementAndFetch atomically decrements *addr and returns the new value —
+// the DAF primitive from §II-D used by ADG's UPDATE and by JP's Join.
+func DecrementAndFetch(addr *int32) int32 {
+	return atomic.AddInt32(addr, -1)
+}
+
+// Join decrements *addr and reports whether the caller is the last to
+// arrive (the counter reached zero). This mirrors the Join synchronization
+// primitive of Hasenplaugh et al. used in JPColor.
+func Join(addr *int32) bool {
+	return atomic.AddInt32(addr, -1) == 0
+}
+
+// FetchAdd64 atomically adds delta to *addr and returns the new value.
+func FetchAdd64(addr *int64, delta int64) int64 {
+	return atomic.AddInt64(addr, delta)
+}

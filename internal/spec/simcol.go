@@ -1,0 +1,172 @@
+package spec
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// simColState is the shared state threaded through the per-partition
+// SIM-COL invocations of DEC-ADG (Algorithm 4's bitmaps and ranks).
+type simColState struct {
+	g      *graph.Graph
+	rank   []uint32      // ADG partition index of each vertex
+	degL   []int32       // deg_ℓ(v): neighbors in equal-or-higher partitions
+	span   []uint32      // color range ⌈(1+µ)·deg_ℓ(v)⌉ (≥ deg_ℓ+1)
+	forbid []*bitset.Set // Bv: forbidden colors (1-based bit index)
+	colors []uint32
+	seed   uint64
+	p      int
+}
+
+// newSimColState precomputes deg_ℓ, spans and bitmaps for all vertices.
+// Bv holds span(v)+1 bits: colors above v's own range can never be chosen
+// by v, so they need not be tracked (the storage argument of §IV-B).
+func newSimColState(g *graph.Graph, rank []uint32, mu float64, seed uint64, p int) *simColState {
+	n := g.NumVertices()
+	st := &simColState{
+		g:      g,
+		rank:   rank,
+		degL:   make([]int32, n),
+		span:   make([]uint32, n),
+		forbid: make([]*bitset.Set, n),
+		colors: make([]uint32, n),
+		seed:   seed,
+		p:      p,
+	}
+	par.For(p, n, func(v int) {
+		var c int32
+		rv := rank[v]
+		for _, u := range g.Neighbors(uint32(v)) {
+			if rank[u] >= rv {
+				c++
+			}
+		}
+		st.degL[v] = c
+		span := int64(float64(c) * (1 + mu))
+		if float64(span) < float64(c)*(1+mu) {
+			span++
+		}
+		if span < int64(c)+1 {
+			span = int64(c) + 1 // always at least one free color
+		}
+		if span < 1 {
+			span = 1
+		}
+		st.span[v] = uint32(span)
+		st.forbid[v] = bitset.New(int(span) + 1)
+	})
+	return st
+}
+
+// markForbidden records color c as unusable for v, ignoring colors beyond
+// v's own range (they cannot collide with v's draws).
+func (st *simColState) markForbidden(v uint32, c uint32) {
+	if c <= st.span[v] {
+		st.forbid[v].Set(int(c))
+	}
+}
+
+// simCol colors one partition (Algorithm 5). part lists the vertices of
+// partition ℓ; their Bv bitmaps must already contain the colors of
+// neighbors in higher partitions. Returns (rounds, conflicts, edgesScanned).
+func (st *simColState) simCol(part []uint32, itrRule bool, prio []uint32) (int, int64, int64) {
+	p := st.p
+	n := st.g.NumVertices()
+	isActive := make([]bool, n)
+	for _, v := range part {
+		isActive[v] = true
+	}
+	u := append([]uint32(nil), part...)
+	rounds := 0
+	var conflicts, edges int64
+	colors := st.colors
+	resetFlag := make([]bool, n)
+	for len(u) > 0 {
+		rounds++
+		// Part 1: tentative colors.
+		par.For(p, len(u), func(i int) {
+			v := u[i]
+			if itrRule {
+				// DEC-ADG-ITR (§IV-C): smallest color not in Bv.
+				c := st.forbid[v].NextClear(1)
+				if c < 0 {
+					// Cannot happen: span ≥ deg_ℓ+1 > |Bv|; guard anyway.
+					c = int(st.span[v])
+				}
+				colors[v] = uint32(c)
+			} else {
+				colors[v] = roundColor(st.seed, rounds, v, st.span[v])
+			}
+		})
+		// Part 2: conflict detection (pull-style Reduce over N_U(v)).
+		var roundConf int64
+		par.ForWorkers(p, len(u), func(w, lo, hi int) {
+			var local int64
+			var scanned int64
+			for i := lo; i < hi; i++ {
+				v := u[i]
+				cv := colors[v]
+				bad := st.forbid[v].Test(int(cv))
+				ns := st.g.Neighbors(v)
+				scanned += int64(len(ns))
+				if !bad {
+					for _, nb := range ns {
+						if isActive[nb] && colors[nb] == cv {
+							if !itrRule || loses(v, nb, prio) {
+								bad = true
+								break
+							}
+						}
+					}
+				}
+				resetFlag[v] = bad
+				if bad {
+					local++
+				}
+			}
+			par.FetchAdd64(&roundConf, local)
+			par.FetchAdd64(&edges, scanned)
+		})
+		conflicts += roundConf
+		// Part 3: finalize winners, clear losers, update bitmaps.
+		par.For(p, len(u), func(i int) {
+			v := u[i]
+			if resetFlag[v] {
+				colors[v] = 0
+			}
+		})
+		// Deactivate freshly colored vertices...
+		par.For(p, len(u), func(i int) {
+			v := u[i]
+			if colors[v] > 0 {
+				isActive[v] = false
+			}
+		})
+		// ...then pull their colors into the survivors' bitmaps.
+		par.For(p, len(u), func(i int) {
+			v := u[i]
+			if colors[v] != 0 {
+				return
+			}
+			rv := st.rank[v]
+			for _, nb := range st.g.Neighbors(v) {
+				if st.rank[nb] == rv && !isActive[nb] && colors[nb] > 0 {
+					st.markForbidden(v, colors[nb])
+				}
+			}
+		})
+		next := par.Pack(p, len(u), func(i int) bool { return colors[u[i]] == 0 })
+		nu := make([]uint32, len(next))
+		par.For(p, len(next), func(i int) { nu[i] = u[next[i]] })
+		u = nu
+	}
+	return rounds, conflicts, edges
+}
+
+// loses reports whether v loses the tie against neighbor nb under the
+// random priorities prio (higher priority wins; ties by ID cannot occur
+// since prio is a permutation).
+func loses(v, nb uint32, prio []uint32) bool {
+	return prio[nb] > prio[v]
+}

@@ -1,0 +1,82 @@
+// Package spec implements the speculative-coloring family (Table III
+// class 1 plus the paper's contributions #3 and #4):
+//
+//   - SIM-COL (Algorithm 5): randomized coloring of one low-degree
+//     partition against forbidden-color bitmaps;
+//   - DEC-ADG (Algorithm 4): ADG low-degree decomposition + SIM-COL,
+//     the first speculative scheme with provable work/depth/quality;
+//   - DEC-ADG-ITR (§IV-C): the decomposition fused with ITR's
+//     smallest-available color rule;
+//   - ITR (Çatalyürek et al. [40]): iterative speculate-then-resolve;
+//   - ITRB (Boman et al. [38]): the superstep/batched variant;
+//   - GM (Gebremedhin–Manne [37]): block-partitioned speculation with a
+//     sequential repair pass.
+//
+// Conflicts between equal tentative colors are resolved by a random
+// per-vertex priority; losers retry, so all schemes are Las Vegas: the
+// final coloring is always proper.
+package spec
+
+import (
+	"repro/internal/par"
+	"repro/internal/verify"
+	"repro/internal/xrand"
+)
+
+// Options configures the speculative schemes.
+type Options struct {
+	// Procs is the worker count (<= 0: GOMAXPROCS).
+	Procs int
+	// Seed drives color draws and conflict-resolution priorities.
+	Seed uint64
+	// Epsilon is the DEC-family quality knob ε: ADG runs with ε/12 and
+	// SIM-COL with µ = ε/4 (Algorithm 4's constants). The paper's bounds
+	// need 4 < ε ≤ 8; smaller values still color correctly, only the
+	// concentration arguments weaken. Values ≤ 0 default to 0.5.
+	Epsilon float64
+	// BatchSize is ITRB's superstep size (vertices tentatively colored
+	// per superstep); <= 0 selects a size proportional to n/Procs.
+	BatchSize int
+}
+
+// Result reports a speculative coloring run.
+type Result struct {
+	// Colors[v] >= 1 for every vertex.
+	Colors []uint32
+	// NumColors is the number of distinct colors used.
+	NumColors int
+	// Rounds counts speculative rounds across all partitions/supersteps.
+	Rounds int
+	// Conflicts counts re-coloring events (a vertex losing a round).
+	Conflicts int64
+	// EdgesScanned counts adjacency words read (work proxy, Fig. 4).
+	EdgesScanned int64
+	// OrderIterations is the ADG iteration count for the DEC variants.
+	OrderIterations int
+}
+
+func (r *Result) finish() {
+	r.NumColors = verify.NumColors(r.Colors)
+}
+
+func (o Options) procs() int {
+	if o.Procs <= 0 {
+		return par.DefaultProcs()
+	}
+	return o.Procs
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon <= 0 {
+		return 0.5
+	}
+	return o.Epsilon
+}
+
+// roundColor deterministically draws v's color for a given round,
+// uniform on [1, span]. Stateless hashing makes the draw independent of
+// worker scheduling, so DEC-ADG is reproducible for a fixed seed.
+func roundColor(seed uint64, round int, v uint32, span uint32) uint32 {
+	h := xrand.Hash2(seed^uint64(round)*0x9e3779b97f4a7c15, uint64(v))
+	return uint32(h%uint64(span)) + 1
+}

@@ -1,0 +1,282 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/verify"
+)
+
+type algo struct {
+	name string
+	run  func(*graph.Graph, Options) *Result
+}
+
+func algos() []algo {
+	return []algo{
+		{"DEC-ADG", DECADG},
+		{"DEC-ADG-M", DECADGM},
+		{"DEC-ADG-ITR", DECADGITR},
+		{"ITR", ITR},
+		{"ITRB", ITRB},
+		{"GM", GM},
+		{"SIM-COL", func(g *graph.Graph, o Options) *Result { return SIMCOL(g, 0.5, o) }},
+	}
+}
+
+func testGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	add := func(name string) func(*graph.Graph, error) {
+		return func(g *graph.Graph, err error) {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out[name] = g
+		}
+	}
+	add("er")(gen.ErdosRenyiGNM(300, 1500, 1, 2))
+	add("kron")(gen.Kronecker(9, 8, 2, 2))
+	add("ba")(gen.BarabasiAlbert(400, 5, 3, 2))
+	add("grid")(gen.Grid2D(17, 23, 2))
+	add("star")(gen.Star(150, 2))
+	add("clique")(gen.Complete(25, 2))
+	add("comm")(gen.Community(180, 3, 0.5, 150, 4, 2))
+	add("bip")(gen.CompleteBipartite(12, 35, 2))
+	add("edgeless")(graph.FromEdges(7, nil, 1))
+	add("empty")(graph.FromEdges(0, nil, 1))
+	return out
+}
+
+func TestAllSpeculativeSchemesProper(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		for _, a := range algos() {
+			res := a.run(g, Options{Procs: 2, Seed: 11, Epsilon: 5})
+			if g.NumVertices() == 0 {
+				if len(res.Colors) != 0 {
+					t.Errorf("%s/%s: non-empty colors for empty graph", gname, a.name)
+				}
+				continue
+			}
+			if err := verify.CheckProper(g, res.Colors); err != nil {
+				t.Errorf("%s/%s: %v", gname, a.name, err)
+			}
+		}
+	}
+}
+
+func TestDECQualityBounds(t *testing.T) {
+	// Claim 2 (DEC-ADG) and §IV-C (DEC-ADG-ITR): color counts stay within
+	// the degeneracy-based guarantees. ε = 5 is inside the paper's valid
+	// band 4 < ε ≤ 8.
+	eps := 5.0
+	for gname, g := range testGraphs(t) {
+		if g.NumVertices() == 0 {
+			continue
+		}
+		d := kcore.Degeneracy(g)
+		if d == 0 {
+			continue
+		}
+		for _, a := range algos()[:3] { // the three DEC variants
+			res := a.run(g, Options{Procs: 2, Seed: 11, Epsilon: eps})
+			bound := DECQualityBound(a.name, d, eps)
+			if err := verify.AssertBound(a.name, res.NumColors, bound); err != nil {
+				t.Errorf("%s: %v (d=%d)", gname, err, d)
+			}
+		}
+	}
+}
+
+func TestDECADGITRSmallEpsilonQuality(t *testing.T) {
+	// The practical configuration (Fig. 1 uses ε = 0.01): quality must
+	// still respect ⌈2(1+ε)d⌉+1 because the color rule never exceeds
+	// deg_ℓ(v)+1.
+	for gname, g := range testGraphs(t) {
+		if g.NumVertices() == 0 {
+			continue
+		}
+		d := kcore.Degeneracy(g)
+		if d == 0 {
+			continue
+		}
+		res := DECADGITR(g, Options{Procs: 2, Seed: 7, Epsilon: 0.01})
+		bound := DECQualityBound("DEC-ADG-ITR", d, 0.01)
+		if err := verify.AssertBound("DEC-ADG-ITR", res.NumColors, bound); err != nil {
+			t.Errorf("%s: %v (d=%d)", gname, err, d)
+		}
+	}
+}
+
+func TestTrivialBoundForAllSchemes(t *testing.T) {
+	// Everything speculative still respects Δ+1-ish sanity: ITR/ITRB/GM
+	// are greedy-based so exactly Δ+1; DEC variants get their d-based
+	// bounds checked above, here just proper coloring cardinality sanity.
+	for gname, g := range testGraphs(t) {
+		if g.NumVertices() == 0 {
+			continue
+		}
+		for _, a := range []algo{{"ITR", ITR}, {"ITRB", ITRB}, {"GM", GM}} {
+			res := a.run(g, Options{Procs: 2, Seed: 3})
+			if res.NumColors > g.MaxDegree()+1 {
+				t.Errorf("%s/%s: %d colors > Δ+1 = %d", gname, a.name, res.NumColors, g.MaxDegree()+1)
+			}
+		}
+	}
+}
+
+func TestITRDeterministicAcrossProcs(t *testing.T) {
+	// The synchronous double-buffered ITR is a deterministic function of
+	// (graph, seed): scheduling must not alter the result.
+	g := testGraphs(t)["comm"]
+	base := ITR(g, Options{Procs: 1, Seed: 9})
+	for _, p := range []int{2, 4} {
+		res := ITR(g, Options{Procs: p, Seed: 9})
+		for v := range base.Colors {
+			if res.Colors[v] != base.Colors[v] {
+				t.Fatalf("ITR color[%d] differs between p=1 and p=%d", v, p)
+			}
+		}
+	}
+}
+
+func TestDECADGDeterministicAcrossProcs(t *testing.T) {
+	g := testGraphs(t)["kron"]
+	base := DECADG(g, Options{Procs: 1, Seed: 21, Epsilon: 5})
+	for _, p := range []int{2, 4} {
+		res := DECADG(g, Options{Procs: p, Seed: 21, Epsilon: 5})
+		for v := range base.Colors {
+			if res.Colors[v] != base.Colors[v] {
+				t.Fatalf("DEC-ADG color[%d] differs between p=1 and p=%d", v, p)
+			}
+		}
+	}
+}
+
+func TestDECBetterQualityThanITROnClusters(t *testing.T) {
+	// §VI-D: DEC-ADG-ITR always uses no more (usually many fewer) colors
+	// than plain ITR on cluster-heavy graphs — the paper reports up to
+	// 40% reduction.
+	g, err := gen.Community(600, 6, 0.3, 500, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itr := ITR(g, Options{Procs: 2, Seed: 5})
+	dec := DECADGITR(g, Options{Procs: 2, Seed: 5, Epsilon: 0.01})
+	if dec.NumColors > itr.NumColors+2 {
+		t.Errorf("DEC-ADG-ITR %d colors vs ITR %d — decomposition did not help",
+			dec.NumColors, itr.NumColors)
+	}
+}
+
+func TestSimColRoundsLogarithmic(t *testing.T) {
+	// Lemma 10: SIM-COL finishes in O(log n) rounds w.h.p. for µ > 1.
+	g, err := gen.ErdosRenyiGNM(2000, 10000, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SIMCOL(g, 2.0, Options{Procs: 2, Seed: 1})
+	if err := verify.CheckProper(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	// log2(2000) ≈ 11; allow a generous constant.
+	if res.Rounds > 40 {
+		t.Errorf("SIM-COL took %d rounds for n=2000, µ=2", res.Rounds)
+	}
+}
+
+func TestSimColQualityBound(t *testing.T) {
+	// SIM-COL delivers a ((1+µ)Δ)-coloring by construction.
+	g, err := gen.ErdosRenyiGNM(500, 3000, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := 1.5
+	res := SIMCOL(g, mu, Options{Procs: 2, Seed: 2})
+	bound := int(float64(g.MaxDegree())*(1+mu)) + 2
+	if res.NumColors > bound {
+		t.Errorf("SIM-COL used %d colors > (1+µ)Δ bound %d", res.NumColors, bound)
+	}
+}
+
+func TestConflictsDecreaseWithBatching(t *testing.T) {
+	// ITRB's supersteps see fresher colors, so it cannot generate more
+	// conflicts than one-shot ITR on the same seed (statistically; we
+	// allow slack for small samples).
+	g := testGraphs(t)["comm"]
+	itr := ITR(g, Options{Procs: 2, Seed: 13})
+	itrb := ITRB(g, Options{Procs: 2, Seed: 13, BatchSize: 16})
+	if itrb.Conflicts > itr.Conflicts*2+8 {
+		t.Errorf("ITRB conflicts %d ≫ ITR conflicts %d", itrb.Conflicts, itr.Conflicts)
+	}
+}
+
+func TestMetricsPopulated(t *testing.T) {
+	g := testGraphs(t)["kron"]
+	for _, a := range algos() {
+		res := a.run(g, Options{Procs: 2, Seed: 1, Epsilon: 5})
+		if res.Rounds <= 0 {
+			t.Errorf("%s: rounds not populated", a.name)
+		}
+		if res.EdgesScanned <= 0 {
+			t.Errorf("%s: edges scanned not populated", a.name)
+		}
+	}
+	dec := DECADG(g, Options{Procs: 2, Seed: 1, Epsilon: 5})
+	if dec.OrderIterations <= 0 {
+		t.Error("DEC-ADG: ADG iteration count missing")
+	}
+}
+
+func TestSpeculativeRandomGraphsProperty(t *testing.T) {
+	check := func(seed uint64, nRaw, mRaw uint8, pick uint8) bool {
+		n := int(nRaw%40) + 1
+		m := int64(mRaw) % 160
+		g, err := gen.ErdosRenyiGNM(n, m, seed, 1)
+		if err != nil {
+			return false
+		}
+		as := algos()
+		a := as[int(pick)%len(as)]
+		res := a.run(g, Options{Procs: 2, Seed: seed, Epsilon: 5})
+		return verify.IsProper(g, res.Colors, 2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.procs() < 1 {
+		t.Fatal("default procs < 1")
+	}
+	if o.epsilon() != 0.5 {
+		t.Fatalf("default epsilon = %v", o.epsilon())
+	}
+}
+
+func BenchmarkITR(b *testing.B) {
+	g, err := gen.Kronecker(13, 16, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ITR(g, Options{Seed: 1})
+	}
+}
+
+func BenchmarkDECADGITR(b *testing.B) {
+	g, err := gen.Kronecker(13, 16, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DECADGITR(g, Options{Seed: 1, Epsilon: 0.01})
+	}
+}

@@ -1,0 +1,126 @@
+// Package xrand provides deterministic, splittable pseudo-random number
+// generation for the parallel algorithms in this repository.
+//
+// Every randomized routine in the paper (random vertex orderings, random
+// tie-breaking, SIM-COL color draws) needs an independent stream per worker
+// so results are reproducible for a fixed seed regardless of scheduling.
+// SplitMix64 (Steele et al.) is used as the core generator: it is tiny,
+// fast, passes BigCrush, and supports cheap stream splitting by seeding each
+// stream with a distinct output of a parent generator.
+package xrand
+
+import "math"
+
+// golden is the 64-bit golden-ratio increment used by SplitMix64.
+const golden = 0x9e3779b97f4a7c15
+
+// RNG is a SplitMix64 pseudo-random number generator.
+// The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// New returns an RNG seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split returns a new RNG whose stream is independent of r's future outputs.
+// It advances r once.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 uniformly random bits.
+func (r *RNG) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint32n returns a uniformly random uint32 in [0, n) using Lemire's
+// multiply-shift reduction. It panics if n == 0.
+func (r *RNG) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("xrand: Uint32n with zero n")
+	}
+	return uint32((uint64(r.Uint32()) * uint64(n)) >> 32)
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns a uniformly random boolean.
+func (r *RNG) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm fills out with a uniformly random permutation of 0..n-1 using the
+// Fisher–Yates shuffle and returns it. If cap(out) < n a new slice is
+// allocated.
+func (r *RNG) Perm(n int, out []uint32) []uint32 {
+	if cap(out) < n {
+		out = make([]uint32, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Exp returns an exponentially distributed float64 with rate 1.
+func (r *RNG) Exp() float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// Streams returns p generators with pairwise independent streams derived
+// from seed. Used to give each parallel worker its own generator.
+func Streams(seed uint64, p int) []*RNG {
+	parent := New(seed)
+	out := make([]*RNG, p)
+	for i := range out {
+		out[i] = parent.Split()
+	}
+	return out
+}
+
+// Hash64 mixes x through the SplitMix64 finalizer; useful as a stateless
+// per-element hash (e.g. deriving a random priority from a vertex ID and a
+// round number without storing per-vertex state).
+func Hash64(x uint64) uint64 {
+	x += golden
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash2 hashes the pair (a, b) into 64 bits.
+func Hash2(a, b uint64) uint64 {
+	return Hash64(Hash64(a) ^ (b + golden))
+}

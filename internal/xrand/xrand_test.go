@@ -1,0 +1,247 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first values")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint32nRange(t *testing.T) {
+	r := New(5)
+	for _, n := range []uint32{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint32n(n); v >= n {
+				t.Fatalf("Uint32n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint32nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint32n(0) did not panic")
+		}
+	}()
+	New(1).Uint32n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		p := New(seed).Perm(n, nil)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermReusesBuffer(t *testing.T) {
+	buf := make([]uint32, 100)
+	p := New(1).Perm(50, buf)
+	if &p[0] != &buf[0] {
+		t.Fatal("Perm did not reuse the provided buffer")
+	}
+}
+
+func TestPermUniformish(t *testing.T) {
+	// Position of element 0 should be roughly uniform over 4 slots.
+	counts := make([]int, 4)
+	r := New(99)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		p := r.Perm(4, nil)
+		for pos, v := range p {
+			if v == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	for pos, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("element 0 at position %d with frequency %v, want ~0.25", pos, frac)
+		}
+	}
+}
+
+func TestStreams(t *testing.T) {
+	ss := Streams(123, 8)
+	if len(ss) != 8 {
+		t.Fatalf("got %d streams, want 8", len(ss))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range ss {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatal("two streams produced the same first value")
+		}
+		seen[v] = true
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := Streams(9, 4)
+	b := Streams(9, 4)
+	for i := range a {
+		if a[i].Uint64() != b[i].Uint64() {
+			t.Fatalf("stream %d not reproducible", i)
+		}
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Hash64(12345)
+	totalFlips := 0
+	for bit := 0; bit < 64; bit++ {
+		h := Hash64(12345 ^ (1 << bit))
+		d := base ^ h
+		for d != 0 {
+			totalFlips += int(d & 1)
+			d >>= 1
+		}
+	}
+	avg := float64(totalFlips) / 64
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %v bits, want ~32", avg)
+	}
+}
+
+func TestHash2Distinct(t *testing.T) {
+	if Hash2(1, 2) == Hash2(2, 1) {
+		t.Fatal("Hash2 is symmetric; want order sensitivity")
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	r := New(17)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		e := r.Exp()
+		if e < 0 || math.IsInf(e, 0) || math.IsNaN(e) {
+			t.Fatalf("Exp produced %v", e)
+		}
+		sum += e
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(21)
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	frac := float64(trues) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Bool true fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	_ = r.Uint64() // must not panic
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
