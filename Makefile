@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench json
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/par/... ./internal/jp/...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable2Orderings|BenchmarkJP' -benchtime 3x .
+
+json:
+	$(GO) run ./cmd/colorbench -json BENCH_local.json

@@ -1,9 +1,9 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (§VI). Each Benchmark maps to one experiment of DESIGN.md's
-// index (E1–E9); color counts, rounds and memory proxies are reported as
-// custom benchmark metrics so `go test -bench` output carries the same
-// quantities the paper's plots show. The colorbench CLI prints the full
-// row/series form of the same experiments.
+// evaluation (§VI). Each Benchmark maps to one experiment of
+// EXPERIMENTS.md's index (E1–E9); color counts, rounds and memory proxies
+// are reported as custom benchmark metrics so `go test -bench` output
+// carries the same quantities the paper's plots show. The colorbench CLI
+// prints the full row/series form of the same experiments.
 package parcolor
 
 import (
@@ -15,6 +15,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/jp"
 	"repro/internal/kcore"
 	"repro/internal/order"
 	"repro/internal/stats"
@@ -85,6 +86,24 @@ func BenchmarkTable2Orderings(b *testing.B) {
 			if d > 0 {
 				b.ReportMetric(float64(back)/float64(d), "approx-factor")
 			}
+		})
+	}
+}
+
+// BenchmarkJP isolates the JP coloring phase — the frontier fork-join hot
+// path — under one fixed ADG-O ordering, sweeping the worker count. On a
+// single core the gap between p=1 (inline) and p>1 is pure scheduler
+// overhead, which is exactly what the persistent pool is meant to remove.
+func BenchmarkJP(b *testing.B) {
+	g := benchGraph(b)
+	ord := order.ADG(g, order.ADGOptions{Epsilon: 0.01, Seed: 1, Sorted: true})
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			var res *jp.Result
+			for i := 0; i < b.N; i++ {
+				res = jp.Color(g, ord, p)
+			}
+			b.ReportMetric(float64(res.Rounds), "rounds")
 		})
 	}
 }
@@ -209,7 +228,7 @@ func BenchmarkFig3Epsilon(b *testing.B) {
 
 // BenchmarkFig4Memory is E7 (Fig. 4): memory-pressure software proxies
 // per algorithm (edges scanned and atomics per edge, conflicts per
-// vertex) — the PAPI substitution documented in DESIGN.md.
+// vertex) — the PAPI substitution documented in EXPERIMENTS.md.
 func BenchmarkFig4Memory(b *testing.B) {
 	g := benchGraph(b)
 	m := float64(g.NumEdges())

@@ -1,5 +1,5 @@
 // Command colorbench regenerates the paper's tables and figures
-// (experiments E1–E9 of DESIGN.md) and prints the same rows/series the
+// (experiments E1–E9 of EXPERIMENTS.md) and prints the same rows/series the
 // paper reports.
 //
 // Usage:
@@ -8,9 +8,12 @@
 //	           [-trials 3] [-seed 42]
 //	colorbench -experiment all    # run everything
 //	colorbench -list              # list experiments
+//	colorbench -json out.json     # machine-readable per-algorithm records
+//	                              # on the shared benchmark Kronecker graph
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +31,7 @@ func main() {
 		eps        = flag.Float64("eps", 0.01, "ADG epsilon")
 		trials     = flag.Int("trials", 3, "timed repetitions per point")
 		seed       = flag.Uint64("seed", 42, "random seed")
+		jsonOut    = flag.String("json", "", "write per-algorithm {name, seconds, colors, rounds, edgesScanned, forks, seqCutoffHits} records to this file")
 	)
 	flag.Parse()
 
@@ -45,10 +49,6 @@ func main() {
 		}
 		return
 	}
-	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "colorbench: -experiment required (or -list)")
-		os.Exit(2)
-	}
 
 	opts := harness.Options{
 		Scale:   *scale,
@@ -56,6 +56,31 @@ func main() {
 		Epsilon: *eps,
 		Trials:  *trials,
 		Seed:    *seed,
+	}
+	if *jsonOut != "" {
+		records, err := harness.JSONReport(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: json report: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d algorithm records to %s\n", len(records), *jsonOut)
+		if *experiment == "" {
+			return
+		}
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "colorbench: -experiment required (or -list or -json)")
+		os.Exit(2)
 	}
 	run := func(name string) {
 		fn, ok := exps[name]

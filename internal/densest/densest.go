@@ -101,8 +101,11 @@ func ADGPeel(g *graph.Graph, eps float64, p int) *Result {
 		keep := par.Pack(p, len(active), func(i int) bool { return alive[active[i]] })
 		next := make([]uint32, len(keep))
 		par.For(p, len(keep), func(i int) { next[i] = active[keep[i]] })
-		// Update survivor degrees (pull style, race-free).
-		par.For(p, len(next), func(i int) {
+		// Update survivor degrees (pull style, race-free), edge-balanced
+		// over survivor degrees.
+		par.ForWeightedBy(p, len(next), func(i int) int64 {
+			return int64(g.Degree(next[i]))
+		}, func(i int) {
 			u := next[i]
 			var c int32
 			for _, w := range g.Neighbors(u) {

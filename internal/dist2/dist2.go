@@ -10,6 +10,7 @@ package dist2
 import (
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/verify"
 )
 
@@ -19,24 +20,41 @@ type Result struct {
 	NumColors int
 }
 
-// Square returns G²: u ~ v iff their distance in g is 1 or 2.
+// Square returns G²: u ~ v iff their distance in g is 1 or 2. Edge
+// candidates are generated in parallel into per-block buffers with
+// blocks balanced by deg(v)² (the per-vertex pair-generation cost);
+// FromEdges sorts and dedups, so the result is independent of blocking.
 func Square(g *graph.Graph, p int) (*graph.Graph, error) {
 	n := g.NumVertices()
+	if p <= 0 {
+		p = par.DefaultProcs()
+	}
+	bufs := make([][]graph.Edge, p)
+	par.ForWorkersWeightedBy(p, n, nil, func(v int) int64 {
+		d := int64(g.Degree(uint32(v)))
+		return d * d
+	}, func(w, lo, hi int) {
+		var out []graph.Edge
+		for v := lo; v < hi; v++ {
+			// Distance-1 edges.
+			for _, u := range g.Neighbors(uint32(v)) {
+				if uint32(v) < u {
+					out = append(out, graph.Edge{U: uint32(v), V: u})
+				}
+			}
+			// Distance-2: common-neighbor pairs rooted at v.
+			ns := g.Neighbors(uint32(v))
+			for i := 0; i < len(ns); i++ {
+				for j := i + 1; j < len(ns); j++ {
+					out = append(out, graph.Edge{U: ns[i], V: ns[j]})
+				}
+			}
+		}
+		bufs[w] = out
+	})
 	var edges []graph.Edge
-	for v := 0; v < n; v++ {
-		// Distance-1 edges.
-		for _, u := range g.Neighbors(uint32(v)) {
-			if uint32(v) < u {
-				edges = append(edges, graph.Edge{U: uint32(v), V: u})
-			}
-		}
-		// Distance-2: common-neighbor pairs rooted at v.
-		ns := g.Neighbors(uint32(v))
-		for i := 0; i < len(ns); i++ {
-			for j := i + 1; j < len(ns); j++ {
-				edges = append(edges, graph.Edge{U: ns[i], V: ns[j]})
-			}
-		}
+	for _, b := range bufs {
+		edges = append(edges, b...)
 	}
 	return graph.FromEdges(n, edges, p)
 }

@@ -51,6 +51,13 @@ func (g *Graph) Neighbors(v uint32) []uint32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// Offsets returns the CSR offset array (len n+1) as a shared read-only
+// view; callers must not modify it. It doubles as the arc-count prefix
+// used by par.ForBlocksWeighted for edge-balanced partitioning.
+func (g *Graph) Offsets() []int64 {
+	return g.offsets
+}
+
 // HasEdge reports whether {u, v} is an edge, by binary search in the
 // smaller endpoint's neighbor list.
 func (g *Graph) HasEdge(u, v uint32) bool {

@@ -177,7 +177,10 @@ func countColors(colors []uint32) int {
 	return n
 }
 
-// sortByKeyDesc returns vertex IDs sorted by decreasing key.
+// sortByKeyDesc returns vertex IDs sorted by decreasing key. Kept fully
+// sequential on purpose: the Greedy schemes are the Table III class-2
+// sequential yardsticks, and their reported runtimes must not vary with
+// GOMAXPROCS or borrow workers from the shared par pool.
 func sortByKeyDesc(keys []uint64) []uint32 {
 	n := len(keys)
 	idx := make([]uint32, n)

@@ -358,7 +358,7 @@ func Figure3Epsilon(o Options) (string, error) {
 }
 
 // Figure4Memory regenerates Fig. 4 (experiment E7) with software proxies
-// replacing PAPI hardware counters (see DESIGN.md): atomic operations and
+// replacing PAPI hardware counters (see EXPERIMENTS.md): atomic operations and
 // adjacency words scanned per edge, plus speculative conflict counts.
 // Lower values mean less memory-bus pressure.
 func Figure4Memory(o Options) (string, error) {

@@ -2,7 +2,7 @@
 // it registers every implemented coloring algorithm behind a uniform
 // interface with the reordering/coloring phase split of Fig. 1, builds the
 // synthetic dataset suite standing in for Table V, and regenerates each
-// table and figure (see DESIGN.md's experiment index E1–E9).
+// table and figure (see EXPERIMENTS.md's experiment index E1–E9).
 package harness
 
 import (
@@ -15,6 +15,7 @@ import (
 	"repro/internal/kcore"
 	"repro/internal/mis"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/spec"
 	"repro/internal/verify"
 )
@@ -54,6 +55,11 @@ type RunResult struct {
 	// OrderIterations is the ordering phase's parallel round count
 	// (ADG's O(log n) iterations; n for the sequential orders).
 	OrderIterations int
+	// Scheduler counters from the persistent par pool, scoped to this run
+	// (deltas of the process-wide counters; concurrent runs would mix).
+	Forks         int64 // fork-join regions that actually forked
+	Dispatches    int64 // blocks handed to parked pool workers
+	SeqCutoffHits int64 // regions run inline below the sequential grain
 }
 
 // TotalSeconds is the full runtime.
@@ -73,11 +79,25 @@ func timed(fn func()) float64 {
 	return time.Since(start).Seconds()
 }
 
+// withPoolStats wraps an algorithm's run function so every RunResult
+// carries the persistent pool's scheduling counters for that run.
+func withPoolStats(run func(g *graph.Graph, cfg Config) *RunResult) func(g *graph.Graph, cfg Config) *RunResult {
+	return func(g *graph.Graph, cfg Config) *RunResult {
+		before := par.DefaultPoolStats()
+		res := run(g, cfg)
+		after := par.DefaultPoolStats()
+		res.Forks = after.Forks - before.Forks
+		res.Dispatches = after.Dispatches - before.Dispatches
+		res.SeqCutoffHits = after.SeqCutoffHits - before.SeqCutoffHits
+		return res
+	}
+}
+
 func jpAlgo(name string, mkOrder func(g *graph.Graph, cfg Config) *order.Ordering) Algorithm {
 	return Algorithm{
 		Name:  name,
 		Class: ClassJP,
-		Run: func(g *graph.Graph, cfg Config) *RunResult {
+		Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
 			res := &RunResult{}
 			var ord *order.Ordering
 			res.ReorderSeconds = timed(func() { ord = mkOrder(g, cfg) })
@@ -90,7 +110,7 @@ func jpAlgo(name string, mkOrder func(g *graph.Graph, cfg Config) *order.Orderin
 			res.EdgesScanned = jr.EdgesScanned
 			res.AtomicOps = jr.AtomicOps
 			return res
-		},
+		}),
 	}
 }
 
@@ -98,7 +118,7 @@ func specAlgo(name string, run func(g *graph.Graph, cfg Config) *spec.Result) Al
 	return Algorithm{
 		Name:  name,
 		Class: ClassSC,
-		Run: func(g *graph.Graph, cfg Config) *RunResult {
+		Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
 			res := &RunResult{}
 			var sr *spec.Result
 			res.ColorSeconds = timed(func() { sr = run(g, cfg) })
@@ -108,7 +128,7 @@ func specAlgo(name string, run func(g *graph.Graph, cfg Config) *spec.Result) Al
 			res.Conflicts = sr.Conflicts
 			res.EdgesScanned = sr.EdgesScanned
 			return res
-		},
+		}),
 	}
 }
 
@@ -116,7 +136,7 @@ func decAlgo(name string, median, itrRule bool) Algorithm {
 	return Algorithm{
 		Name:  name,
 		Class: ClassSC,
-		Run: func(g *graph.Graph, cfg Config) *RunResult {
+		Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
 			opts := spec.Options{Procs: cfg.Procs, Seed: cfg.Seed, Epsilon: cfg.Epsilon}
 			res := &RunResult{}
 			var ord *order.Ordering
@@ -130,7 +150,7 @@ func decAlgo(name string, median, itrRule bool) Algorithm {
 			res.Conflicts = sr.Conflicts
 			res.EdgesScanned = sr.EdgesScanned
 			return res
-		},
+		}),
 	}
 }
 
@@ -138,14 +158,14 @@ func seqAlgo(name string, run func(g *graph.Graph, cfg Config) *greedy.Result) A
 	return Algorithm{
 		Name:  name,
 		Class: ClassSeq,
-		Run: func(g *graph.Graph, cfg Config) *RunResult {
+		Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
 			res := &RunResult{}
 			var gr *greedy.Result
 			res.ColorSeconds = timed(func() { gr = run(g, cfg) })
 			res.Colors = gr.Colors
 			res.NumColors = gr.NumColors
 			return res
-		},
+		}),
 	}
 }
 
@@ -186,7 +206,7 @@ func Registry() []Algorithm {
 		{
 			Name:  "Luby-MIS",
 			Class: ClassMIS,
-			Run: func(g *graph.Graph, cfg Config) *RunResult {
+			Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
 				res := &RunResult{}
 				var mr *mis.Result
 				res.ColorSeconds = timed(func() { mr = mis.ColorByMIS(g, cfg.Seed, cfg.Procs) })
@@ -194,7 +214,7 @@ func Registry() []Algorithm {
 				res.NumColors = mr.NumColors
 				res.Rounds = mr.Rounds
 				return res
-			},
+			}),
 		},
 		// Sequential Greedy yardsticks (Table III class 2).
 		seqAlgo("Greedy-ID", func(g *graph.Graph, cfg Config) *greedy.Result { return greedy.ID(g) }),

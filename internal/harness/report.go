@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// AlgoRecord is the machine-readable per-algorithm benchmark record that
+// colorbench -json emits. Future PRs track a BENCH_*.json trajectory of
+// these, so field names are part of the interface: keep them stable.
+type AlgoRecord struct {
+	Name           string  `json:"name"`
+	Seconds        float64 `json:"seconds"`
+	ReorderSeconds float64 `json:"reorderSeconds"`
+	Colors         int     `json:"colors"`
+	Rounds         int     `json:"rounds"`
+	EdgesScanned   int64   `json:"edgesScanned"`
+	Forks          int64   `json:"forks"`
+	Dispatches     int64   `json:"dispatches"`
+	SeqCutoffHits  int64   `json:"seqCutoffHits"`
+}
+
+// BenchmarkGraph builds the shared medium Kronecker instance (scale 13,
+// edge factor 16) that bench_test.go and the -json report both measure,
+// so CLI numbers and `go test -bench` numbers are comparable.
+func BenchmarkGraph() (*graph.Graph, error) {
+	return gen.Kronecker(13, 16, 1, 0)
+}
+
+// JSONReport runs every registered algorithm on the shared benchmark
+// instance — grown by opts.Scale the same way the suite grows (scale 1
+// is exactly BenchmarkGraph) — and returns one record per algorithm.
+// Each algorithm is timed opts.Trials times and the fastest repetition
+// is kept (colors, rounds and the scheduler counters come from that
+// repetition, which for the Las Vegas schemes are identical across
+// repetitions anyway).
+func JSONReport(opts Options) ([]AlgoRecord, error) {
+	opts = opts.withDefaults()
+	g, err := gen.Kronecker(13+log2i(opts.Scale), 16, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.cfg()
+	var out []AlgoRecord
+	for _, a := range Registry() {
+		var best *RunResult
+		for t := 0; t < opts.Trials; t++ {
+			res, err := RunChecked(a, g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("harness: json report: %v", err)
+			}
+			if best == nil || res.TotalSeconds() < best.TotalSeconds() {
+				best = res
+			}
+		}
+		out = append(out, AlgoRecord{
+			Name:           a.Name,
+			Seconds:        best.TotalSeconds(),
+			ReorderSeconds: best.ReorderSeconds,
+			Colors:         best.NumColors,
+			Rounds:         best.Rounds,
+			EdgesScanned:   best.EdgesScanned,
+			Forks:          best.Forks,
+			Dispatches:     best.Dispatches,
+			SeqCutoffHits:  best.SeqCutoffHits,
+		})
+	}
+	return out, nil
+}

@@ -79,12 +79,24 @@ func Color(g *graph.Graph, ord *order.Ordering, p int) *Result {
 	}
 
 	colors := res.Colors
+	// Per-round scratch, hoisted: the weight prefix for the edge-balanced
+	// frontier split and the per-block counts/offsets for the PrefixSum
+	// frontier compaction.
+	wscratch := make([]int64, n+1)
+	nextCounts := make([]int32, len(states))
+	nextOffs := make([]int64, len(states)+1)
 	for len(frontier) > 0 {
 		res.Rounds++
-		par.ForWorkers(p, len(frontier), func(w, lo, hi int) {
+		fr := frontier
+		// Frontier work is dominated by adjacency scans, so blocks are
+		// balanced by degree (edge count), not vertex count: contiguous
+		// vertex chunking load-imbalances badly on skewed frontiers.
+		par.ForWorkersWeightedBy(p, len(fr), wscratch, func(i int) int64 {
+			return int64(g.Degree(fr[i]))
+		}, func(w, lo, hi int) {
 			st := states[w]
 			for i := lo; i < hi; i++ {
-				v := frontier[i]
+				v := fr[i]
 				kv := keys[v]
 				// GetColor: smallest color not used by predecessors.
 				st.epoch++
@@ -114,16 +126,22 @@ func Color(g *graph.Graph, ord *order.Ordering, p int) *Result {
 				}
 			}
 		})
-		// Collect the next frontier from the per-worker buffers.
-		total := 0
-		for _, st := range states {
-			total += len(st.next)
+		// Collect the next frontier: per-worker buffers are compacted with
+		// an exclusive PrefixSum over their lengths and copied in parallel,
+		// in block order — the output is a deterministic function of the
+		// round's blocking, independent of scheduling.
+		for w, st := range states {
+			nextCounts[w] = int32(len(st.next))
 		}
-		nf := make([]uint32, 0, total)
-		for _, st := range states {
-			nf = append(nf, st.next...)
-			st.next = st.next[:0]
-		}
+		total := par.PrefixSumInt32(1, nextCounts, nextOffs)
+		nf := make([]uint32, total)
+		par.ForBlocks(p, len(states), func(lo, hi int) {
+			for w := lo; w < hi; w++ {
+				st := states[w]
+				copy(nf[nextOffs[w]:nextOffs[w+1]], st.next)
+				st.next = st.next[:0]
+			}
+		})
 		frontier = nf
 	}
 	for _, st := range states {

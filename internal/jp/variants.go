@@ -5,7 +5,10 @@ import (
 	"repro/internal/order"
 )
 
-// Options configures the JP-X convenience wrappers.
+// Options configures the JP-X convenience wrappers. All variants run on
+// the process-wide persistent par pool: orderings and the JP engine share
+// its workers, its edge-balanced frontier partitioning and its adaptive
+// sequential cutoff, so sweeping Procs never re-creates scheduler state.
 type Options struct {
 	// Procs is the worker count (<= 0: GOMAXPROCS).
 	Procs int

@@ -31,8 +31,11 @@ func Luby(g *graph.Graph, alive []bool, seed uint64, p int) ([]uint32, int) {
 		}
 		// A vertex wins if its hash priority beats every undecided
 		// neighbor's (ties broken by ID, which cannot collide).
+		// Edge-balanced blocks: both passes scan adjacency lists.
 		winner := make([]bool, n)
-		par.For(p, len(w), func(i int) {
+		par.ForWeightedBy(p, len(w), func(i int) int64 {
+			return int64(g.Degree(w[i]))
+		}, func(i int) {
 			v := w[i]
 			hv := xrand.Hash2(seed^uint64(round), uint64(v))
 			for _, u := range g.Neighbors(v) {
@@ -48,7 +51,9 @@ func Luby(g *graph.Graph, alive []bool, seed uint64, p int) ([]uint32, int) {
 		})
 		// Winners join the set; winners and their neighbors leave W.
 		drop := make([]bool, n)
-		par.For(p, len(w), func(i int) {
+		par.ForWeightedBy(p, len(w), func(i int) int64 {
+			return int64(g.Degree(w[i]))
+		}, func(i int) {
 			v := w[i]
 			if winner[v] {
 				inSet[v] = true

@@ -137,7 +137,10 @@ func adgPlain(g *graph.Graph, opts ADGOptions) *Ordering {
 		var cut int64
 		if opts.CREW {
 			// Algorithm 2: pull-style recount, concurrent reads only.
-			par.For(p, len(next), func(i int) {
+			// Edge-balanced blocks: the recount scans each survivor's list.
+			par.ForWeightedBy(p, len(next), func(i int) int64 {
+				return int64(g.Degree(next[i]))
+			}, func(i int) {
 				u := next[i]
 				var c int32
 				for _, w := range g.Neighbors(u) {
@@ -151,8 +154,11 @@ func adgPlain(g *graph.Graph, opts ADGOptions) *Ordering {
 				}
 			})
 		} else {
-			// Algorithm 1: push-style DecrementAndFetch (CRCW).
-			par.For(p, len(batch), func(i int) {
+			// Algorithm 1: push-style DecrementAndFetch (CRCW),
+			// edge-balanced over the removed batch's degrees.
+			par.ForWeightedBy(p, len(batch), func(i int) int64 {
+				return int64(g.Degree(batch[i]))
+			}, func(i int) {
 				v := batch[i]
 				var c int64
 				for _, w := range g.Neighbors(v) {
@@ -279,8 +285,11 @@ func adgSorted(g *graph.Graph, opts ADGOptions) *Ordering {
 			pos[batch[i]] = base + uint32(i)
 		})
 		// UPDATEandPRIORITIZE (§V-C): one pass both maintains residual
-		// degrees and derives the JP DAG in-degree.
-		par.For(p, len(batch), func(i int) {
+		// degrees and derives the JP DAG in-degree. Edge-balanced blocks:
+		// the pass scans each batch vertex's full adjacency list.
+		par.ForWeightedBy(p, len(batch), func(i int) int64 {
+			return int64(g.Degree(batch[i]))
+		}, func(i int) {
 			v := batch[i]
 			pv := pos[v]
 			var c int32

@@ -109,8 +109,11 @@ func SmallestLogLast(g *graph.Graph, seed uint64, p int) *Ordering {
 			ranks[v] = rank
 		}
 		rank++
-		// Push-style degree update with atomics (CRCW).
-		par.For(p, len(batch), func(i int) {
+		// Push-style degree update with atomics (CRCW), edge-balanced
+		// over the removed batch's degrees.
+		par.ForWeightedBy(p, len(batch), func(i int) int64 {
+			return int64(g.Degree(active[batch[i]]))
+		}, func(i int) {
 			v := active[batch[i]]
 			for _, u := range g.Neighbors(v) {
 				if !removed[u] {

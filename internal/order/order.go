@@ -128,18 +128,22 @@ func MaxPredecessors(g *graph.Graph, keys []uint64) int {
 }
 
 // PredCounts computes the JP DAG in-degree of every vertex under Keys.
+// Blocks are edge-balanced over the CSR offsets: the cost of a vertex is
+// its adjacency scan, not a constant.
 func PredCounts(g *graph.Graph, keys []uint64, p int) []int32 {
 	n := g.NumVertices()
 	counts := make([]int32, n)
-	par.For(p, n, func(v int) {
-		c := int32(0)
-		kv := keys[v]
-		for _, u := range g.Neighbors(uint32(v)) {
-			if keys[u] > kv {
-				c++
+	par.ForBlocksWeighted(p, g.Offsets(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			c := int32(0)
+			kv := keys[v]
+			for _, u := range g.Neighbors(uint32(v)) {
+				if keys[u] > kv {
+					c++
+				}
 			}
+			counts[v] = c
 		}
-		counts[v] = c
 	})
 	return counts
 }

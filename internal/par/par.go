@@ -2,17 +2,25 @@
 // assumes in §II-C/§II-D: parallel For, Reduce, Count, PrefixSum, Filter and
 // the DecrementAndFetch/Join atomics used by ADG and Jones–Plassmann.
 //
+// Execution is backed by a persistent fork-join Pool: long-lived workers
+// park on a task queue and run blocks without per-call goroutine creation,
+// which is what makes the many small frontier/batch rounds of JP and ADG
+// cheap (per-call spawn latency is exactly the scalability killer on small
+// frontiers). The package-level functions below are thin wrappers over the
+// process-wide Default pool; pool-scoped variants live on Pool.
+//
 // Parallelism is expressed over an explicit worker count p so that the
 // scaling experiments (Fig. 2) can sweep p independently of GOMAXPROCS and
 // so that p = 1 gives a deterministic sequential execution for tests.
-// Chunking is static (contiguous blocks) which matches the CSR layout and
-// keeps per-worker memory streams contiguous — the same locality argument
-// the paper makes for its array-based U/R representation (§V-A).
+// Chunking is either static contiguous blocks (matching the CSR layout's
+// locality, §V-A) or edge-balanced weighted blocks (ForBlocksWeighted) for
+// skew-heavy degree distributions. Regions whose estimated work falls
+// below a calibrated grain run inline on the caller (adaptive sequential
+// cutoff), so tiny loops cost a function call, not a fork.
 package par
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -36,15 +44,11 @@ func clampProcs(p, n int) int {
 	return p
 }
 
-// For runs body(i) for every i in [0, n) using p workers.
+// For runs body(i) for every i in [0, n) using at most p workers.
 // Iterations are distributed in contiguous blocks. For n == 0 it returns
 // immediately. p <= 0 selects DefaultProcs().
 func For(p, n int, body func(i int)) {
-	ForBlocks(p, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	Default().For(p, n, body)
 }
 
 // ForBlocks partitions [0, n) into at most p contiguous blocks and runs
@@ -52,160 +56,60 @@ func For(p, n int, body func(i int)) {
 // loops build on; use it directly when per-worker state (scratch buffers,
 // RNG streams) is needed.
 func ForBlocks(p, n int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	p = clampProcs(p, n)
-	if p == 1 {
-		body(0, n)
-		return
-	}
-	chunk := (n + p - 1) / p
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	Default().ForBlocks(p, n, body)
 }
 
 // ForWorkers runs body(worker, lo, hi) like ForBlocks but also passes the
-// worker index in [0, p'), where p' <= p is the number of blocks actually
-// spawned. Useful for indexing per-worker scratch space.
+// block index in [0, p'), where p' <= p is the number of blocks actually
+// forked (1 below the sequential grain). Useful for indexing per-worker
+// scratch space; two blocks never share a worker index.
 func ForWorkers(p, n int, body func(worker, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	p = clampProcs(p, n)
-	if p == 1 {
-		body(0, 0, n)
-		return
-	}
-	chunk := (n + p - 1) / p
-	var wg sync.WaitGroup
-	worker := 0
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			body(w, lo, hi)
-		}(worker, lo, hi)
-		worker++
-	}
-	wg.Wait()
+	Default().ForWorkers(p, n, body)
+}
+
+// ForBlocksWeighted partitions the CSR vertex range [0, len(offsets)-1)
+// into at most p blocks of roughly equal arc count by binary search on
+// the offset array, and runs body(lo, hi) on each block. Use instead of
+// ForBlocks whenever the per-vertex cost is proportional to degree.
+func ForBlocksWeighted(p int, offsets []int64, body func(lo, hi int)) {
+	Default().ForBlocksWeighted(p, offsets, body)
+}
+
+// ForWorkersWeighted is ForBlocksWeighted with the block index passed to
+// body for per-worker scratch.
+func ForWorkersWeighted(p int, offsets []int64, body func(worker, lo, hi int)) {
+	Default().ForWorkersWeighted(p, offsets, body)
+}
+
+// ForWeightedBy runs body(i) over [0, n) with blocks balanced by the
+// per-item weights (typically deg(items[i]) for a frontier or batch).
+func ForWeightedBy(p, n int, weight func(i int) int64, body func(i int)) {
+	Default().ForWeightedBy(p, n, weight, body)
+}
+
+// ForWorkersWeightedBy is the per-worker form of ForWeightedBy; scratch,
+// when non-nil, provides the weight-prefix buffer (len >= n+1) so
+// per-round callers can reuse it.
+func ForWorkersWeightedBy(p, n int, scratch []int64, weight func(i int) int64, body func(worker, lo, hi int)) {
+	Default().ForWorkersWeightedBy(p, n, scratch, weight, body)
 }
 
 // ForDynamic runs body(i) for i in [0, n) with dynamic (grabbed) scheduling
-// in grain-sized chunks. Use for irregular per-iteration cost (e.g. vertices
-// with wildly different degrees, DEC-ADG-ITR's dynamic scheduling §VI).
+// in grain-sized chunks. Use for irregular per-iteration cost with no
+// useful weight oracle (DEC-ADG-ITR's dynamic scheduling §VI).
 func ForDynamic(p, n, grain int, body func(i int)) {
-	if n <= 0 {
-		return
-	}
-	p = clampProcs(p, n)
-	if grain < 1 {
-		grain = 1
-	}
-	if p == 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					body(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	Default().ForDynamic(p, n, grain, body)
 }
 
 // ReduceInt64 computes the sum over i in [0, n) of f(i) with p workers in
 // O(n/p + log p) time — the paper's Reduce primitive (§II-D).
 func ReduceInt64(p, n int, f func(i int) int64) int64 {
-	if n <= 0 {
-		return 0
-	}
-	p = clampProcs(p, n)
-	if p == 1 {
-		var s int64
-		for i := 0; i < n; i++ {
-			s += f(i)
-		}
-		return s
-	}
-	partial := make([]int64, p)
-	ForWorkers(p, n, func(w, lo, hi int) {
-		var s int64
-		for i := lo; i < hi; i++ {
-			s += f(i)
-		}
-		partial[w] = s
-	})
-	var total int64
-	for _, s := range partial {
-		total += s
-	}
-	return total
+	return Default().ReduceInt64(p, n, f)
 }
 
 // ReduceFloat64 is ReduceInt64 for float64 values.
 func ReduceFloat64(p, n int, f func(i int) float64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	p = clampProcs(p, n)
-	if p == 1 {
-		var s float64
-		for i := 0; i < n; i++ {
-			s += f(i)
-		}
-		return s
-	}
-	partial := make([]float64, p)
-	ForWorkers(p, n, func(w, lo, hi int) {
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += f(i)
-		}
-		partial[w] = s
-	})
-	var total float64
-	for _, s := range partial {
-		total += s
-	}
-	return total
+	return Default().ReduceFloat64(p, n, f)
 }
 
 // Count returns |{i in [0,n) : pred(i)}| — the paper's Count primitive,
@@ -221,127 +125,27 @@ func Count(p, n int, pred func(i int) bool) int {
 
 // MaxInt64 returns the maximum of f(i) over [0, n); it returns def for n==0.
 func MaxInt64(p, n int, def int64, f func(i int) int64) int64 {
-	if n <= 0 {
-		return def
-	}
-	p = clampProcs(p, n)
-	partial := make([]int64, p)
-	for i := range partial {
-		partial[i] = def
-	}
-	ForWorkers(p, n, func(w, lo, hi int) {
-		m := def
-		for i := lo; i < hi; i++ {
-			if v := f(i); v > m {
-				m = v
-			}
-		}
-		partial[w] = m
-	})
-	m := def
-	for _, v := range partial {
-		if v > m {
-			m = v
-		}
-	}
-	return m
+	return Default().MaxInt64(p, n, def, f)
 }
 
-// MinInt64 returns the minimum of f(i) over [0, n); it returns def for n==0.
+// MinInt64 returns the minimum of f(i) over [0, n); it returns def for
+// n==0. Implemented directly (not as -Max of -f, whose negation overflows
+// for math.MinInt64 inputs or defaults).
 func MinInt64(p, n int, def int64, f func(i int) int64) int64 {
-	return -MaxInt64(p, n, -def, func(i int) int64 { return -f(i) })
+	return Default().MinInt64(p, n, def, f)
 }
 
 // PrefixSumInt32 computes the exclusive prefix sum of src into dst and
 // returns the total. dst must have length len(src)+1; dst[0] = 0 and
 // dst[len(src)] = total. Two-pass blocked scan: O(n) work, O(n/p + p) time.
 func PrefixSumInt32(p int, src []int32, dst []int64) int64 {
-	n := len(src)
-	if len(dst) != n+1 {
-		panic("par: PrefixSumInt32 requires len(dst) == len(src)+1")
-	}
-	if n == 0 {
-		dst[0] = 0
-		return 0
-	}
-	p = clampProcs(p, n)
-	if p == 1 {
-		var run int64
-		for i, v := range src {
-			dst[i] = run
-			run += int64(v)
-		}
-		dst[n] = run
-		return run
-	}
-	chunk := (n + p - 1) / p
-	blocks := (n + chunk - 1) / chunk
-	sums := make([]int64, blocks)
-	ForWorkers(p, n, func(w, lo, hi int) {
-		var s int64
-		for i := lo; i < hi; i++ {
-			s += int64(src[i])
-		}
-		sums[w] = s
-	})
-	var run int64
-	for i, s := range sums {
-		sums[i] = run
-		run += s
-	}
-	total := run
-	ForWorkers(p, n, func(w, lo, hi int) {
-		acc := sums[w]
-		for i := lo; i < hi; i++ {
-			dst[i] = acc
-			acc += int64(src[i])
-		}
-	})
-	dst[n] = total
-	return total
+	return Default().PrefixSumInt32(p, src, dst)
 }
 
 // Pack writes the indices i in [0, n) with keep(i) into a fresh slice,
 // preserving order. It is the Filter/Pack primitive built from a prefix sum.
 func Pack(p, n int, keep func(i int) bool) []uint32 {
-	if n <= 0 {
-		return nil
-	}
-	p = clampProcs(p, n)
-	if p == 1 {
-		out := make([]uint32, 0, 16)
-		for i := 0; i < n; i++ {
-			if keep(i) {
-				out = append(out, uint32(i))
-			}
-		}
-		return out
-	}
-	chunk := (n + p - 1) / p
-	blocks := (n + chunk - 1) / chunk
-	counts := make([]int32, blocks)
-	ForWorkers(p, n, func(w, lo, hi int) {
-		var c int32
-		for i := lo; i < hi; i++ {
-			if keep(i) {
-				c++
-			}
-		}
-		counts[w] = c
-	})
-	offsets := make([]int64, blocks+1)
-	total := PrefixSumInt32(1, counts, offsets)
-	out := make([]uint32, total)
-	ForWorkers(p, n, func(w, lo, hi int) {
-		pos := offsets[w]
-		for i := lo; i < hi; i++ {
-			if keep(i) {
-				out[pos] = uint32(i)
-				pos++
-			}
-		}
-	})
-	return out
+	return Default().Pack(p, n, keep)
 }
 
 // DecrementAndFetch atomically decrements *addr and returns the new value —

@@ -46,19 +46,40 @@ func TestForBlocksEmptyAndNegative(t *testing.T) {
 }
 
 func TestForWorkersDistinctIDs(t *testing.T) {
-	n := 100
-	p := 4
-	seen := make([]int32, p)
-	ForWorkers(p, n, func(w, lo, hi int) {
-		if w < 0 || w >= p {
-			t.Errorf("worker id %d out of range", w)
-			return
+	// Small n runs inline below the sequential grain (one block, worker 0);
+	// n above the grain must fork into multiple blocks with distinct
+	// worker indices in [0, p) and full coverage either way.
+	for _, n := range []int{100, 100000} {
+		p := 4
+		seen := make([]int32, p)
+		var covered int64
+		ForWorkers(p, n, func(w, lo, hi int) {
+			if w < 0 || w >= p {
+				t.Errorf("n=%d: worker id %d out of range", n, w)
+				return
+			}
+			atomic.AddInt32(&seen[w], 1)
+			atomic.AddInt64(&covered, int64(hi-lo))
+		})
+		if covered != int64(n) {
+			t.Fatalf("n=%d: covered %d", n, covered)
 		}
-		atomic.AddInt32(&seen[w], 1)
-	})
-	for w := 0; w < p; w++ {
-		if seen[w] != 1 {
-			t.Fatalf("worker %d ran %d blocks, want 1", w, seen[w])
+		for w := 0; w < p; w++ {
+			if seen[w] > 1 {
+				t.Fatalf("n=%d: worker %d ran %d blocks, want <= 1", n, w, seen[w])
+			}
+		}
+		if n == 100 && seen[0] != 1 {
+			t.Fatalf("small n should run inline on worker 0")
+		}
+		if n == 100000 {
+			blocks := 0
+			for _, s := range seen {
+				blocks += int(s)
+			}
+			if blocks != p {
+				t.Fatalf("n=%d: forked %d blocks, want %d", n, blocks, p)
+			}
 		}
 	}
 }

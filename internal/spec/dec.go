@@ -79,8 +79,11 @@ func decColorWithOrdering(g *graph.Graph, ord *order.Ordering, opts Options, itr
 		part := ord.Partitions[l]
 		rl := uint32(l)
 		// Lines 16-18: pull colors of already-colored higher partitions
-		// into Bv. Only colors within v's own range matter.
-		par.For(p, len(part), func(i int) {
+		// into Bv. Only colors within v's own range matter. Blocks are
+		// edge-balanced: the pull scans each vertex's adjacency list.
+		par.ForWeightedBy(p, len(part), func(i int) int64 {
+			return int64(g.Degree(part[i]))
+		}, func(i int) {
 			v := part[i]
 			for _, u := range g.Neighbors(v) {
 				if ord.Rank[u] > rl {

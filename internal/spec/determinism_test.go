@@ -1,0 +1,42 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestDECFamilyDeterministicAcrossProcsP8 asserts that DEC-ADG and
+// DEC-ADG-ITR produce bit-identical colorings for p ∈ {1, 2, 8} with a
+// fixed seed (spec_test.go covers p ≤ 4 for DEC-ADG alone): color draws
+// are stateless hashes and conflict resolution is priority-based, so
+// neither the persistent pool nor the edge-balanced blocking may leak
+// into the result.
+func TestDECFamilyDeterministicAcrossProcsP8(t *testing.T) {
+	g, err := gen.Kronecker(11, 8, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []struct {
+		name string
+		run  func(p int) []uint32
+	}{
+		{"DEC-ADG", func(p int) []uint32 {
+			return DECADG(g, Options{Procs: p, Seed: 42, Epsilon: 0.5}).Colors
+		}},
+		{"DEC-ADG-ITR", func(p int) []uint32 {
+			return DECADGITR(g, Options{Procs: p, Seed: 42, Epsilon: 0.5}).Colors
+		}},
+	} {
+		base := algo.run(1)
+		for _, p := range []int{2, 8} {
+			got := algo.run(p)
+			for v := range base {
+				if got[v] != base[v] {
+					t.Fatalf("%s p=%d: color of vertex %d is %d, p=1 gave %d",
+						algo.name, p, v, got[v], base[v])
+				}
+			}
+		}
+	}
+}

@@ -64,7 +64,11 @@ func itrColor(g *graph.Graph, opts Options, batch int) *Result {
 			if hi > len(u) {
 				hi = len(u)
 			}
-			par.ForWorkers(p, hi-lo, func(w, blo, bhi int) {
+			// Edge-balanced blocks: tentative coloring scans each
+			// vertex's adjacency list.
+			par.ForWorkersWeightedBy(p, hi-lo, nil, func(i int) int64 {
+				return int64(g.Degree(u[lo+i]))
+			}, func(w, blo, bhi int) {
 				st := states[w]
 				for i := blo; i < bhi; i++ {
 					v := u[lo+i]

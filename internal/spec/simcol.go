@@ -34,29 +34,36 @@ func newSimColState(g *graph.Graph, rank []uint32, mu float64, seed uint64, p in
 		seed:   seed,
 		p:      p,
 	}
-	par.For(p, n, func(v int) {
-		var c int32
-		rv := rank[v]
-		for _, u := range g.Neighbors(uint32(v)) {
-			if rank[u] >= rv {
-				c++
-			}
+	par.ForBlocksWeighted(p, g.Offsets(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			st.initVertex(g, rank, mu, v)
 		}
-		st.degL[v] = c
-		span := int64(float64(c) * (1 + mu))
-		if float64(span) < float64(c)*(1+mu) {
-			span++
-		}
-		if span < int64(c)+1 {
-			span = int64(c) + 1 // always at least one free color
-		}
-		if span < 1 {
-			span = 1
-		}
-		st.span[v] = uint32(span)
-		st.forbid[v] = bitset.New(int(span) + 1)
 	})
 	return st
+}
+
+// initVertex computes deg_ℓ, the span and the bitmap of one vertex.
+func (st *simColState) initVertex(g *graph.Graph, rank []uint32, mu float64, v int) {
+	var c int32
+	rv := rank[v]
+	for _, u := range g.Neighbors(uint32(v)) {
+		if rank[u] >= rv {
+			c++
+		}
+	}
+	st.degL[v] = c
+	span := int64(float64(c) * (1 + mu))
+	if float64(span) < float64(c)*(1+mu) {
+		span++
+	}
+	if span < int64(c)+1 {
+		span = int64(c) + 1 // always at least one free color
+	}
+	if span < 1 {
+		span = 1
+	}
+	st.span[v] = uint32(span)
+	st.forbid[v] = bitset.New(int(span) + 1)
 }
 
 // markForbidden records color c as unusable for v, ignoring colors beyond
@@ -99,9 +106,12 @@ func (st *simColState) simCol(part []uint32, itrRule bool, prio []uint32) (int, 
 				colors[v] = roundColor(st.seed, rounds, v, st.span[v])
 			}
 		})
-		// Part 2: conflict detection (pull-style Reduce over N_U(v)).
+		// Part 2: conflict detection (pull-style Reduce over N_U(v)),
+		// edge-balanced: the pass scans each active vertex's list.
 		var roundConf int64
-		par.ForWorkers(p, len(u), func(w, lo, hi int) {
+		par.ForWorkersWeightedBy(p, len(u), nil, func(i int) int64 {
+			return int64(st.g.Degree(u[i]))
+		}, func(w, lo, hi int) {
 			var local int64
 			var scanned int64
 			for i := lo; i < hi; i++ {
