@@ -1,23 +1,36 @@
-GO ?= go
+# The fmt/vet/build/test/race recipes below are the CI contract: they
+# must stay byte-for-byte identical to the run: lines of the `test` job
+# in .github/workflows/ci.yml (TestMakefileMatchesWorkflow enforces it),
+# so local `make ci` and the workflow can never drift.
 
-.PHONY: ci vet build test race bench json
+.PHONY: ci fmt vet build test race bench json loadtest
 
-ci: vet build test race
+ci: fmt vet build test race
+
+fmt:
+	test -z "$$(gofmt -l .)"
 
 vet:
-	$(GO) vet ./...
+	go vet ./...
 
 build:
-	$(GO) build ./...
+	go build ./...
 
 test:
-	$(GO) test ./...
+	go test ./...
 
 race:
-	$(GO) test -race ./internal/par/... ./internal/jp/...
+	go test -race ./internal/par/... ./internal/jp/... ./internal/service/...
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkTable2Orderings|BenchmarkJP' -benchtime 3x .
+	go test -run '^$$' -bench 'BenchmarkTable2Orderings|BenchmarkJP' -benchtime 3x .
 
 json:
-	$(GO) run ./cmd/colorbench -json BENCH_local.json
+	go run ./cmd/colorbench -json BENCH_local.json
+
+# loadtest starts colord, drives it with colorload (>= 8 concurrent
+# clients, >= 200 requests against a scale-12 Kronecker graph, every
+# returned coloring verified client-side) and prints the latency summary
+# and cache hit rate. Tune via COLORD_ADDR/LOAD_CLIENTS/LOAD_REQUESTS.
+loadtest:
+	./scripts/loadtest.sh

@@ -32,6 +32,17 @@ func benchGraph(b *testing.B) *graph.Graph {
 	return g
 }
 
+// mustRun runs a registered algorithm, failing the benchmark on a run
+// error (only cancellation can produce one, so it never fires here).
+func mustRun(b *testing.B, a harness.Algorithm, g *graph.Graph, cfg harness.Config) *harness.RunResult {
+	b.Helper()
+	res, err := a.Run(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // BenchmarkSuiteStats is E9 (Table V stand-in): dataset construction and
 // structural statistics including exact degeneracy.
 func BenchmarkSuiteStats(b *testing.B) {
@@ -117,7 +128,7 @@ func BenchmarkTable3Algorithms(b *testing.B) {
 		b.Run(a.Name, func(b *testing.B) {
 			var colors int
 			for i := 0; i < b.N; i++ {
-				res := a.Run(g, cfg)
+				res := mustRun(b, a, g, cfg)
 				colors = res.NumColors
 			}
 			b.ReportMetric(float64(colors), "colors")
@@ -139,7 +150,7 @@ func BenchmarkFig1RuntimeQuality(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		base := baseAlgo.Run(bg.G, cfg)
+		base := mustRun(b, baseAlgo, bg.G, cfg)
 		for _, name := range []string{"JP-ADG", "JP-ADG-M", "JP-SL", "JP-SLL", "JP-LLF", "JP-R", "ITR", "DEC-ADG-ITR"} {
 			a, err := harness.Lookup(name)
 			if err != nil {
@@ -148,7 +159,7 @@ func BenchmarkFig1RuntimeQuality(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", bg.Name, name), func(b *testing.B) {
 				var res *harness.RunResult
 				for i := 0; i < b.N; i++ {
-					res = a.Run(bg.G, cfg)
+					res = mustRun(b, a, bg.G, cfg)
 				}
 				b.ReportMetric(float64(res.NumColors), "colors")
 				b.ReportMetric(float64(res.NumColors)/float64(base.NumColors), "colors-vs-JP-R")
@@ -176,7 +187,7 @@ func BenchmarkFig2WeakScaling(b *testing.B) {
 			cfg := harness.Config{Procs: pt.procs, Seed: 1, Epsilon: 0.01}
 			b.Run(fmt.Sprintf("%s/ef%d-p%d", name, pt.ef, pt.procs), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					a.Run(g, cfg)
+					mustRun(b, a, g, cfg)
 				}
 			})
 		}
@@ -196,7 +207,7 @@ func BenchmarkFig2StrongScaling(b *testing.B) {
 			cfg := harness.Config{Procs: p, Seed: 1, Epsilon: 0.01}
 			b.Run(fmt.Sprintf("%s/p%d", name, p), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					a.Run(g, cfg)
+					mustRun(b, a, g, cfg)
 				}
 			})
 		}
@@ -217,7 +228,7 @@ func BenchmarkFig3Epsilon(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/eps%.2f", name, eps), func(b *testing.B) {
 				var res *harness.RunResult
 				for i := 0; i < b.N; i++ {
-					res = a.Run(g, cfg)
+					res = mustRun(b, a, g, cfg)
 				}
 				b.ReportMetric(float64(res.NumColors), "colors")
 				b.ReportMetric(float64(res.Rounds), "rounds")
@@ -241,7 +252,7 @@ func BenchmarkFig4Memory(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var res *harness.RunResult
 			for i := 0; i < b.N; i++ {
-				res = a.Run(g, cfg)
+				res = mustRun(b, a, g, cfg)
 			}
 			b.ReportMetric(float64(res.EdgesScanned)/m, "edges-scanned/m")
 			b.ReportMetric(float64(res.AtomicOps)/m, "atomics/m")
@@ -267,7 +278,7 @@ func BenchmarkFig5Profile(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, bg := range suite {
-			res := a.Run(bg.G, cfg)
+			res := mustRun(b, a, bg.G, cfg)
 			results[name] = append(results[name], float64(res.NumColors))
 		}
 	}

@@ -31,7 +31,7 @@ func main() {
 		eps        = flag.Float64("eps", 0.01, "ADG epsilon")
 		trials     = flag.Int("trials", 3, "timed repetitions per point")
 		seed       = flag.Uint64("seed", 42, "random seed")
-		jsonOut    = flag.String("json", "", "write per-algorithm {name, seconds, colors, rounds, edgesScanned, forks, seqCutoffHits} records to this file")
+		jsonOut    = flag.String("json", "", "write per-algorithm {schemaVersion, name, seconds, colors, rounds, edgesScanned, forks, seqCutoffHits, p, goMaxProcs} records to this file")
 	)
 	flag.Parse()
 

@@ -1,0 +1,240 @@
+// Command colorload is the closed-loop load generator for colord: -c
+// concurrent clients issue -n coloring requests over a key space of
+// (algorithm, seed) pairs, verify every returned coloring client-side
+// against a locally regenerated copy of the graph (possible because
+// generator specs are deterministic), check cross-request determinism
+// (identical keys must return identical colorings regardless of which
+// worker/cache path served them), and report p50/p95/p99 latency, req/s
+// and the server's cache hit rate.
+//
+// Usage:
+//
+//	colorload [-addr http://127.0.0.1:8712] [-graph kron12]
+//	          [-spec kron:12] [-algos JP-ADG,DEC-ADG-ITR] [-seeds 4]
+//	          [-c 8] [-n 200] [-eps 0.01] [-verify]
+//
+// The target graph is registered first (idempotent): a run needs nothing
+// but a listening colord.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/verify"
+)
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) postJSON(path string, req, resp interface{}) (int, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return r.StatusCode, err
+	}
+	if r.StatusCode != http.StatusOK {
+		return r.StatusCode, fmt.Errorf("status %d: %s", r.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if resp != nil {
+		if err := json.Unmarshal(body, resp); err != nil {
+			return r.StatusCode, err
+		}
+	}
+	return r.StatusCode, nil
+}
+
+func colorsHash(colors []uint32) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, c := range colors {
+		b[0], b[1], b[2], b[3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8712", "colord base URL")
+		name    = flag.String("graph", "kron12", "graph name to register and color")
+		spec    = flag.String("spec", "kron:12", "deterministic generator spec for the graph")
+		algos   = flag.String("algos", "JP-ADG,DEC-ADG-ITR", "comma-separated algorithms to request")
+		seeds   = flag.Int("seeds", 4, "number of distinct seeds in the key space")
+		clients = flag.Int("c", 8, "concurrent closed-loop clients")
+		total   = flag.Int("n", 200, "total requests")
+		eps     = flag.Float64("eps", 0.01, "epsilon for the ADG-based algorithms")
+		doVer   = flag.Bool("verify", true, "verify every returned coloring against the locally regenerated graph")
+	)
+	flag.Parse()
+	algoList := strings.Split(*algos, ",")
+	if *seeds < 1 || *clients < 1 || *total < 1 || len(algoList) == 0 {
+		fmt.Fprintln(os.Stderr, "colorload: -seeds, -c, -n and -algos must be positive/non-empty")
+		os.Exit(2)
+	}
+
+	cl := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: 120 * time.Second}}
+
+	// Register the graph (idempotent for equal specs).
+	var info struct {
+		N int   `json:"n"`
+		M int64 `json:"m"`
+	}
+	if _, err := cl.postJSON("/v1/graphs", map[string]string{"name": *name, "spec": *spec}, &info); err != nil {
+		fmt.Fprintf(os.Stderr, "colorload: registering %s=%s: %v\n", *name, *spec, err)
+		os.Exit(1)
+	}
+	fmt.Printf("colorload: target %s graph %s (%s): n=%d m=%d\n", cl.base, *name, *spec, info.N, info.M)
+
+	// Local replica for verification.
+	var local *graph.Graph
+	if *doVer {
+		g, err := service.BuildSpec(*spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colorload: rebuilding %s locally: %v\n", *spec, err)
+			os.Exit(1)
+		}
+		local = g
+	}
+
+	var (
+		next      atomic.Int64
+		okCount   atomic.Int64
+		cachedHit atomic.Int64
+		coalesced atomic.Int64
+		verErrs   atomic.Int64
+		reqErrs   atomic.Int64
+
+		latMu sync.Mutex
+		lats  []time.Duration
+
+		hashMu sync.Mutex
+		hashes = map[service.Key]uint64{}
+	)
+	record := func(d time.Duration) {
+		latMu.Lock()
+		lats = append(lats, d)
+		latMu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*total) {
+					return
+				}
+				req := service.ColorRequest{
+					Graph:         *name,
+					Algorithm:     algoList[i%int64(len(algoList))],
+					Seed:          uint64(i/int64(len(algoList))) % uint64(*seeds),
+					Epsilon:       *eps,
+					IncludeColors: *doVer,
+				}
+				var resp service.ColorResponse
+				t0 := time.Now()
+				_, err := cl.postJSON("/v1/color", req, &resp)
+				record(time.Since(t0))
+				if err != nil {
+					reqErrs.Add(1)
+					fmt.Fprintf(os.Stderr, "colorload: request %d (%s seed %d): %v\n", i, req.Algorithm, req.Seed, err)
+					continue
+				}
+				okCount.Add(1)
+				if resp.Cached {
+					cachedHit.Add(1)
+				}
+				if resp.Coalesced {
+					coalesced.Add(1)
+				}
+				if *doVer {
+					if err := verify.CheckProper(local, resp.Colors); err != nil {
+						verErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "colorload: IMPROPER coloring for %s seed %d: %v\n", req.Algorithm, req.Seed, err)
+						continue
+					}
+					// Determinism across requests: equal keys, equal
+					// colors — but only for algorithms carrying the
+					// guarantee (the server never caches the others, and
+					// their colorings legitimately vary run to run).
+					if resp.Deterministic {
+						key := service.Key{Graph: *name, Algorithm: req.Algorithm, Seed: req.Seed, Epsilon: *eps}
+						h := colorsHash(resp.Colors)
+						hashMu.Lock()
+						if prev, ok := hashes[key]; ok && prev != h {
+							verErrs.Add(1)
+							fmt.Fprintf(os.Stderr, "colorload: NONDETERMINISM for %+v\n", key)
+						}
+						hashes[key] = h
+						hashMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("colorload: %d requests, %d ok, %d errors, %d verify failures in %.2fs (%.1f req/s)\n",
+		*total, okCount.Load(), reqErrs.Load(), verErrs.Load(), wall.Seconds(),
+		float64(*total)/wall.Seconds())
+	if *doVer {
+		fmt.Printf("colorload: every returned coloring verified proper on the local %s replica (%d distinct keys)\n",
+			*spec, len(hashes))
+	}
+	fmt.Printf("colorload: latency p50 %v  p95 %v  p99 %v  max %v\n",
+		percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99), percentile(lats, 1.0))
+	fmt.Printf("colorload: client-observed cache hits %d, coalesced %d\n", cachedHit.Load(), coalesced.Load())
+
+	// Server-side view.
+	mresp, err := cl.http.Get(cl.base + "/metrics")
+	if err == nil {
+		defer mresp.Body.Close()
+		var m service.Metrics
+		if json.NewDecoder(mresp.Body).Decode(&m) == nil {
+			fmt.Printf("colorload: server cache hit rate %.1f%% (%d hits / %d misses, %d entries), inflight max %d, pool forks %d dispatches %d\n",
+				100*m.CacheHitRate, m.Cache.Hits, m.Cache.Misses, m.Cache.Entries,
+				m.Jobs.MaxInflight, m.Pool.Forks, m.Pool.Dispatches)
+		}
+	}
+
+	if reqErrs.Load() > 0 || verErrs.Load() > 0 {
+		os.Exit(1)
+	}
+}

@@ -28,12 +28,17 @@ func ReadDIMACSColor(r io.Reader) (*graph.Graph, error) {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "p":
-			if len(fields) < 3 || (fields[1] != "edge" && fields[1] != "col") {
+			// The format is "p edge N M": a truncated header (missing N
+			// or M) is rejected rather than guessed at.
+			if len(fields) < 4 || (fields[1] != "edge" && fields[1] != "col") {
 				return nil, fmt.Errorf("graphio: line %d: bad problem line %q", lineNo, line)
 			}
 			v, err := strconv.Atoi(fields[2])
 			if err != nil || v < 0 {
 				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[2])
+			}
+			if m, err := strconv.Atoi(fields[3]); err != nil || m < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad edge count %q", lineNo, fields[3])
 			}
 			n = v
 		case "e":

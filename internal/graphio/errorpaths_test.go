@@ -1,0 +1,98 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Error-path coverage for the readers the serving layer exposes to
+// uploads (cmd/colord accepts edgelist/dimacs/mm payloads verbatim):
+// truncated headers, out-of-range vertex ids and oversized lines must
+// come back as errors, never as panics or silently wrong graphs.
+
+func TestReadDIMACSTruncatedHeader(t *testing.T) {
+	cases := []string{
+		"p\n",             // directive alone
+		"p edge\n",        // no vertex count
+		"p edge 5\ne 1 2", // count present but no edge count — accepted by some tools; ours needs 3 fields
+		"p edge -3 1\ne 1 2\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadDIMACSColor(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: truncated header %q accepted", i, in)
+		}
+	}
+}
+
+func TestReadDIMACSOutOfRangeVertices(t *testing.T) {
+	cases := []string{
+		"p edge 3 1\ne 1 4\n",          // v > n
+		"p edge 3 1\ne 4 1\n",          // u > n
+		"p edge 3 1\ne 0 1\n",          // 1-indexed format, 0 invalid
+		"p edge 3 1\ne 1 4294967296\n", // beyond uint32
+		"p edge 3 1\ne 1 -2\n",         // negative
+	}
+	for i, in := range cases {
+		if _, err := ReadDIMACSColor(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: out-of-range edge %q accepted", i, in)
+		}
+	}
+}
+
+// oversized builds a single line longer than the readers' 1 MiB scanner
+// buffer; every reader must surface bufio.ErrTooLong instead of hanging
+// or truncating.
+func oversized(prefix string) string {
+	var b bytes.Buffer
+	b.WriteString(prefix)
+	b.WriteString(strings.Repeat(" 1", 1<<20))
+	b.WriteString("\n")
+	return b.String()
+}
+
+func TestOversizedLines(t *testing.T) {
+	if _, err := ReadDIMACSColor(strings.NewReader("p edge 3 1\n" + oversized("e 1 2"))); err == nil {
+		t.Error("DIMACS reader accepted a >1MiB line")
+	}
+	if _, err := ReadEdgeList(strings.NewReader(oversized("0 1"))); err == nil {
+		t.Error("edge-list reader accepted a >1MiB line")
+	}
+	mm := "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n" + oversized("1 2")
+	if _, err := ReadMatrixMarket(strings.NewReader(mm)); err == nil {
+		t.Error("MatrixMarket reader accepted a >1MiB line")
+	}
+}
+
+func TestReadEdgeListOutOfRangeVertices(t *testing.T) {
+	cases := []string{
+		"0 4294967296\n", // beyond uint32
+		"-1 2\n",         // negative
+		"0 1\n2\n",       // short line
+		"a b\n",          // non-numeric
+	}
+	for i, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: %q accepted", i, in)
+		}
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	// A valid snapshot cut off at every prefix length must error, not
+	// panic or return a partial graph.
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n2 3\n3 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}

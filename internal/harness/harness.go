@@ -6,7 +6,9 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -39,6 +41,18 @@ type Config struct {
 	Procs   int
 	Seed    uint64
 	Epsilon float64
+	// Ctx, when non-nil, cancels the run cooperatively: the JP frontier
+	// loop, the ADG peeling loop and the DEC partition loop check it once
+	// per round and abort with ctx.Err(). nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the run context, defaulting to context.Background().
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // RunResult is the uniform outcome record.
@@ -65,11 +79,23 @@ type RunResult struct {
 // TotalSeconds is the full runtime.
 func (r *RunResult) TotalSeconds() float64 { return r.ReorderSeconds + r.ColorSeconds }
 
-// Algorithm is a registered coloring scheme.
+// Algorithm is a registered coloring scheme. Run returns an error only
+// when the run was cancelled through cfg.Ctx (cooperative checks in the
+// JP/ADG/DEC round loops); an uncancellable scheme with a background
+// context never fails.
 type Algorithm struct {
 	Name  string
 	Class Class
-	Run   func(g *graph.Graph, cfg Config) *RunResult
+	// Deterministic reports the strong Las Vegas property: for a fixed
+	// seed the coloring is bit-identical at any Procs and under any
+	// scheduling (what lets a serving layer cache results by
+	// (graph, algorithm, seed, epsilon) alone). All algorithms always
+	// produce proper colorings; the ones with Deterministic=false
+	// (JP-ASL's shared removal counter, ITR/ITRB/GM's racy speculative
+	// reads, ITRB's Procs-sized batches) may produce different — still
+	// proper — colorings across runs or worker counts.
+	Deterministic bool
+	Run           func(g *graph.Graph, cfg Config) (*RunResult, error)
 }
 
 // timed measures fn.
@@ -81,35 +107,45 @@ func timed(fn func()) float64 {
 
 // withPoolStats wraps an algorithm's run function so every RunResult
 // carries the persistent pool's scheduling counters for that run.
-func withPoolStats(run func(g *graph.Graph, cfg Config) *RunResult) func(g *graph.Graph, cfg Config) *RunResult {
-	return func(g *graph.Graph, cfg Config) *RunResult {
+func withPoolStats(run func(g *graph.Graph, cfg Config) (*RunResult, error)) func(g *graph.Graph, cfg Config) (*RunResult, error) {
+	return func(g *graph.Graph, cfg Config) (*RunResult, error) {
 		before := par.DefaultPoolStats()
-		res := run(g, cfg)
+		res, err := run(g, cfg)
+		if err != nil {
+			return nil, err
+		}
 		after := par.DefaultPoolStats()
 		res.Forks = after.Forks - before.Forks
 		res.Dispatches = after.Dispatches - before.Dispatches
 		res.SeqCutoffHits = after.SeqCutoffHits - before.SeqCutoffHits
-		return res
+		return res, nil
 	}
 }
 
-func jpAlgo(name string, mkOrder func(g *graph.Graph, cfg Config) *order.Ordering) Algorithm {
+func jpAlgo(name string, mkOrder func(g *graph.Graph, cfg Config) (*order.Ordering, error)) Algorithm {
 	return Algorithm{
 		Name:  name,
 		Class: ClassJP,
-		Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
+		Run: withPoolStats(func(g *graph.Graph, cfg Config) (*RunResult, error) {
 			res := &RunResult{}
 			var ord *order.Ordering
-			res.ReorderSeconds = timed(func() { ord = mkOrder(g, cfg) })
+			var err error
+			res.ReorderSeconds = timed(func() { ord, err = mkOrder(g, cfg) })
+			if err != nil {
+				return nil, err
+			}
 			res.OrderIterations = ord.Iterations
 			var jr *jp.Result
-			res.ColorSeconds = timed(func() { jr = jp.Color(g, ord, cfg.Procs) })
+			res.ColorSeconds = timed(func() { jr, err = jp.ColorContext(cfg.ctx(), g, ord, cfg.Procs) })
+			if err != nil {
+				return nil, err
+			}
 			res.Colors = jr.Colors
 			res.NumColors = jr.NumColors
 			res.Rounds = jr.Rounds
 			res.EdgesScanned = jr.EdgesScanned
 			res.AtomicOps = jr.AtomicOps
-			return res
+			return res, nil
 		}),
 	}
 }
@@ -118,7 +154,14 @@ func specAlgo(name string, run func(g *graph.Graph, cfg Config) *spec.Result) Al
 	return Algorithm{
 		Name:  name,
 		Class: ClassSC,
-		Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
+		Run: withPoolStats(func(g *graph.Graph, cfg Config) (*RunResult, error) {
+			// The ITR/ITRB/GM inner loops have no preemption points yet;
+			// honor a cancelled or already-expired context before
+			// starting at least (par.CtxErr sees expired deadlines even
+			// when the context's timer goroutine was starved).
+			if err := par.CtxErr(cfg.ctx()); err != nil {
+				return nil, err
+			}
 			res := &RunResult{}
 			var sr *spec.Result
 			res.ColorSeconds = timed(func() { sr = run(g, cfg) })
@@ -127,7 +170,7 @@ func specAlgo(name string, run func(g *graph.Graph, cfg Config) *spec.Result) Al
 			res.Rounds = sr.Rounds
 			res.Conflicts = sr.Conflicts
 			res.EdgesScanned = sr.EdgesScanned
-			return res
+			return res, nil
 		}),
 	}
 }
@@ -136,20 +179,28 @@ func decAlgo(name string, median, itrRule bool) Algorithm {
 	return Algorithm{
 		Name:  name,
 		Class: ClassSC,
-		Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
+		Run: withPoolStats(func(g *graph.Graph, cfg Config) (*RunResult, error) {
+			ctx := cfg.ctx()
 			opts := spec.Options{Procs: cfg.Procs, Seed: cfg.Seed, Epsilon: cfg.Epsilon}
 			res := &RunResult{}
 			var ord *order.Ordering
-			res.ReorderSeconds = timed(func() { ord = spec.DecomposeOrdering(g, opts, median) })
+			var err error
+			res.ReorderSeconds = timed(func() { ord, err = spec.DecomposeOrderingContext(ctx, g, opts, median) })
+			if err != nil {
+				return nil, err
+			}
 			res.OrderIterations = ord.Iterations
 			var sr *spec.Result
-			res.ColorSeconds = timed(func() { sr = spec.ColorDecomposition(g, ord, opts, itrRule) })
+			res.ColorSeconds = timed(func() { sr, err = spec.ColorDecompositionContext(ctx, g, ord, opts, itrRule) })
+			if err != nil {
+				return nil, err
+			}
 			res.Colors = sr.Colors
 			res.NumColors = sr.NumColors
 			res.Rounds = sr.Rounds
 			res.Conflicts = sr.Conflicts
 			res.EdgesScanned = sr.EdgesScanned
-			return res
+			return res, nil
 		}),
 	}
 }
@@ -158,37 +209,76 @@ func seqAlgo(name string, run func(g *graph.Graph, cfg Config) *greedy.Result) A
 	return Algorithm{
 		Name:  name,
 		Class: ClassSeq,
-		Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
+		Run: withPoolStats(func(g *graph.Graph, cfg Config) (*RunResult, error) {
+			if err := par.CtxErr(cfg.ctx()); err != nil {
+				return nil, err
+			}
 			res := &RunResult{}
 			var gr *greedy.Result
 			res.ColorSeconds = timed(func() { gr = run(g, cfg) })
 			res.Colors = gr.Colors
 			res.NumColors = gr.NumColors
-			return res
+			return res, nil
 		}),
 	}
 }
 
-// Registry returns every implemented algorithm keyed by name.
+// The registry is immutable after construction; it is built once and
+// memoized because Lookup sits on the serving hot path (every /v1/color
+// request) where rebuilding the table per call is pure allocation churn.
+var (
+	registryOnce   sync.Once
+	registryAlgos  []Algorithm
+	registryByName map[string]Algorithm
+)
+
+func initRegistry() {
+	registryOnce.Do(func() {
+		registryAlgos = registryList()
+		// Strong determinism (see Algorithm.Deterministic): everything
+		// except JP-ASL (shared atomic removal counter), ITR/GM
+		// (speculative reads race with concurrent writes) and ITRB
+		// (batch size derived from Procs). The JP-ADG/JP-ADG-M/DEC
+		// determinism is pinned by the p ∈ {1,2,8} tests in internal/jp
+		// and internal/spec.
+		nonDeterministic := map[string]bool{"JP-ASL": true, "ITR": true, "ITRB": true, "GM": true}
+		registryByName = make(map[string]Algorithm, len(registryAlgos))
+		for i := range registryAlgos {
+			registryAlgos[i].Deterministic = !nonDeterministic[registryAlgos[i].Name]
+			registryByName[registryAlgos[i].Name] = registryAlgos[i]
+		}
+	})
+}
+
+// Registry returns every implemented algorithm keyed by name. The
+// returned slice is a copy; the Algorithm values share the memoized
+// closures.
 func Registry() []Algorithm {
+	initRegistry()
+	return append([]Algorithm(nil), registryAlgos...)
+}
+
+func registryList() []Algorithm {
 	return []Algorithm{
 		// Jones–Plassmann family (Table III class 3).
-		jpAlgo("JP-FF", func(g *graph.Graph, cfg Config) *order.Ordering { return order.FirstFit(g) }),
-		jpAlgo("JP-R", func(g *graph.Graph, cfg Config) *order.Ordering { return order.Random(g, cfg.Seed) }),
-		jpAlgo("JP-LF", func(g *graph.Graph, cfg Config) *order.Ordering { return order.LargestFirst(g, cfg.Seed) }),
-		jpAlgo("JP-LLF", func(g *graph.Graph, cfg Config) *order.Ordering { return order.LargestLogFirst(g, cfg.Seed) }),
-		jpAlgo("JP-SL", func(g *graph.Graph, cfg Config) *order.Ordering { return order.SmallestLast(g) }),
-		jpAlgo("JP-SLL", func(g *graph.Graph, cfg Config) *order.Ordering {
-			return order.SmallestLogLast(g, cfg.Seed, cfg.Procs)
+		jpAlgo("JP-FF", func(g *graph.Graph, cfg Config) (*order.Ordering, error) { return order.FirstFit(g), nil }),
+		jpAlgo("JP-R", func(g *graph.Graph, cfg Config) (*order.Ordering, error) { return order.Random(g, cfg.Seed), nil }),
+		jpAlgo("JP-LF", func(g *graph.Graph, cfg Config) (*order.Ordering, error) { return order.LargestFirst(g, cfg.Seed), nil }),
+		jpAlgo("JP-LLF", func(g *graph.Graph, cfg Config) (*order.Ordering, error) {
+			return order.LargestLogFirst(g, cfg.Seed), nil
 		}),
-		jpAlgo("JP-ASL", func(g *graph.Graph, cfg Config) *order.Ordering {
-			return order.ApproxSmallestLast(g, cfg.Seed, cfg.Procs)
+		jpAlgo("JP-SL", func(g *graph.Graph, cfg Config) (*order.Ordering, error) { return order.SmallestLast(g), nil }),
+		jpAlgo("JP-SLL", func(g *graph.Graph, cfg Config) (*order.Ordering, error) {
+			return order.SmallestLogLast(g, cfg.Seed, cfg.Procs), nil
 		}),
-		jpAlgo("JP-ADG", func(g *graph.Graph, cfg Config) *order.Ordering {
-			return order.ADG(g, order.ADGOptions{Epsilon: cfg.Epsilon, Procs: cfg.Procs, Seed: cfg.Seed, Sorted: true})
+		jpAlgo("JP-ASL", func(g *graph.Graph, cfg Config) (*order.Ordering, error) {
+			return order.ApproxSmallestLast(g, cfg.Seed, cfg.Procs), nil
 		}),
-		jpAlgo("JP-ADG-M", func(g *graph.Graph, cfg Config) *order.Ordering {
-			return order.ADG(g, order.ADGOptions{Median: true, Procs: cfg.Procs, Seed: cfg.Seed, Sorted: true})
+		jpAlgo("JP-ADG", func(g *graph.Graph, cfg Config) (*order.Ordering, error) {
+			return order.ADGContext(cfg.ctx(), g, order.ADGOptions{Epsilon: cfg.Epsilon, Procs: cfg.Procs, Seed: cfg.Seed, Sorted: true})
+		}),
+		jpAlgo("JP-ADG-M", func(g *graph.Graph, cfg Config) (*order.Ordering, error) {
+			return order.ADGContext(cfg.ctx(), g, order.ADGOptions{Median: true, Procs: cfg.Procs, Seed: cfg.Seed, Sorted: true})
 		}),
 		// Speculative family (class 1 + contributions #3/#4).
 		specAlgo("ITR", func(g *graph.Graph, cfg Config) *spec.Result {
@@ -206,14 +296,17 @@ func Registry() []Algorithm {
 		{
 			Name:  "Luby-MIS",
 			Class: ClassMIS,
-			Run: withPoolStats(func(g *graph.Graph, cfg Config) *RunResult {
+			Run: withPoolStats(func(g *graph.Graph, cfg Config) (*RunResult, error) {
+				if err := par.CtxErr(cfg.ctx()); err != nil {
+					return nil, err
+				}
 				res := &RunResult{}
 				var mr *mis.Result
 				res.ColorSeconds = timed(func() { mr = mis.ColorByMIS(g, cfg.Seed, cfg.Procs) })
 				res.Colors = mr.Colors
 				res.NumColors = mr.NumColors
 				res.Rounds = mr.Rounds
-				return res
+				return res, nil
 			}),
 		},
 		// Sequential Greedy yardsticks (Table III class 2).
@@ -224,10 +317,9 @@ func Registry() []Algorithm {
 
 // Lookup returns the registered algorithm with the given name.
 func Lookup(name string) (Algorithm, error) {
-	for _, a := range Registry() {
-		if a.Name == name {
-			return a, nil
-		}
+	initRegistry()
+	if a, ok := registryByName[name]; ok {
+		return a, nil
 	}
 	return Algorithm{}, fmt.Errorf("harness: unknown algorithm %q", name)
 }
@@ -243,9 +335,12 @@ func Names() []string {
 
 // RunChecked runs a and verifies the coloring, returning an error on an
 // improper result — used everywhere so no experiment can report numbers
-// from a broken coloring.
+// from a broken coloring — or when cfg.Ctx cancelled the run.
 func RunChecked(a Algorithm, g *graph.Graph, cfg Config) (*RunResult, error) {
-	res := a.Run(g, cfg)
+	res, err := a.Run(g, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
 	if err := verify.CheckProper(g, res.Colors); err != nil {
 		return nil, fmt.Errorf("%s: %v", a.Name, err)
 	}

@@ -193,8 +193,8 @@ func TestRunCheckedRejectsBrokenColoring(t *testing.T) {
 	broken := Algorithm{
 		Name:  "broken",
 		Class: ClassJP,
-		Run: func(_ *graph.Graph, _ Config) *RunResult {
-			return &RunResult{Colors: []uint32{1, 1, 1, 1}, NumColors: 1}
+		Run: func(_ *graph.Graph, _ Config) (*RunResult, error) {
+			return &RunResult{Colors: []uint32{1, 1, 1, 1}, NumColors: 1}, nil
 		},
 	}
 	if _, err := RunChecked(broken, g, Config{}); err == nil {

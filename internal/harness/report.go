@@ -2,15 +2,25 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
 
+// AlgoRecordSchemaVersion identifies the AlgoRecord field set. Bump it
+// whenever a field is added/renamed so the per-commit BENCH_*.json
+// trajectory (accumulated by the CI bench-smoke artifact) stays
+// comparable across records: consumers group by (schemaVersion, p).
+// Version 2 added schemaVersion, p and goMaxProcs — without p, records
+// produced on different machines or -procs settings were silently mixed.
+const AlgoRecordSchemaVersion = 2
+
 // AlgoRecord is the machine-readable per-algorithm benchmark record that
 // colorbench -json emits. Future PRs track a BENCH_*.json trajectory of
 // these, so field names are part of the interface: keep them stable.
 type AlgoRecord struct {
+	SchemaVersion  int     `json:"schemaVersion"`
 	Name           string  `json:"name"`
 	Seconds        float64 `json:"seconds"`
 	ReorderSeconds float64 `json:"reorderSeconds"`
@@ -20,6 +30,12 @@ type AlgoRecord struct {
 	Forks          int64   `json:"forks"`
 	Dispatches     int64   `json:"dispatches"`
 	SeqCutoffHits  int64   `json:"seqCutoffHits"`
+	// P is the worker count the run was configured with (-procs).
+	P int `json:"p"`
+	// GoMaxProcs records the host's GOMAXPROCS at run time, bounding how
+	// much real parallelism P could buy on the machine that produced the
+	// record.
+	GoMaxProcs int `json:"goMaxProcs"`
 }
 
 // BenchmarkGraph builds the shared medium Kronecker instance (scale 13,
@@ -56,6 +72,7 @@ func JSONReport(opts Options) ([]AlgoRecord, error) {
 			}
 		}
 		out = append(out, AlgoRecord{
+			SchemaVersion:  AlgoRecordSchemaVersion,
 			Name:           a.Name,
 			Seconds:        best.TotalSeconds(),
 			ReorderSeconds: best.ReorderSeconds,
@@ -65,6 +82,8 @@ func JSONReport(opts Options) ([]AlgoRecord, error) {
 			Forks:          best.Forks,
 			Dispatches:     best.Dispatches,
 			SeqCutoffHits:  best.SeqCutoffHits,
+			P:              cfg.Procs,
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
 		})
 	}
 	return out, nil

@@ -1,0 +1,56 @@
+package jp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/order"
+)
+
+// TestColorContextCancelled checks the cooperative cancellation contract:
+// a cancelled context aborts the frontier loop with ctx.Err() and no
+// partial result, while a background context reproduces Color exactly.
+func TestColorContextCancelled(t *testing.T) {
+	g, err := gen.Kronecker(10, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := order.Random(g, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ColorContext(ctx, g, ord, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not return a partial result")
+	}
+
+	res, err = ColorContext(context.Background(), g, ord, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Color(g, ord, 2)
+	if res.NumColors != want.NumColors || res.Rounds != want.Rounds {
+		t.Fatalf("background ColorContext diverges from Color: %d/%d vs %d/%d",
+			res.NumColors, res.Rounds, want.NumColors, want.Rounds)
+	}
+}
+
+// TestColorContextDeadline checks that an already-expired deadline is
+// honored before any round runs.
+func TestColorContextDeadline(t *testing.T) {
+	g, err := gen.Kronecker(9, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := order.Random(g, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	if _, err := ColorContext(ctx, g, ord, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}

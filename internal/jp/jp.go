@@ -12,6 +12,8 @@
 package jp
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/par"
@@ -47,13 +49,23 @@ type workerState struct {
 // skipped. p <= 0 selects GOMAXPROCS workers. The coloring is a
 // deterministic function of (g, ord): scheduling cannot change it.
 func Color(g *graph.Graph, ord *order.Ordering, p int) *Result {
+	res, _ := ColorContext(context.Background(), g, ord, p)
+	return res
+}
+
+// ColorContext is Color with cooperative cancellation: ctx is checked
+// once per frontier round (the natural preemption point — rounds are the
+// depth unit of Theorem 1), so a cancelled long-running request returns
+// within one round instead of running to completion. On cancellation the
+// partial coloring is discarded and ctx.Err() is returned.
+func ColorContext(ctx context.Context, g *graph.Graph, ord *order.Ordering, p int) (*Result, error) {
 	n := g.NumVertices()
 	if p <= 0 {
 		p = par.DefaultProcs()
 	}
 	res := &Result{Colors: make([]uint32, n)}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 	keys := ord.Keys
 
@@ -86,6 +98,9 @@ func Color(g *graph.Graph, ord *order.Ordering, p int) *Result {
 	nextCounts := make([]int32, len(states))
 	nextOffs := make([]int64, len(states)+1)
 	for len(frontier) > 0 {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		res.Rounds++
 		fr := frontier
 		// Frontier work is dominated by adjacency scans, so blocks are
@@ -149,7 +164,7 @@ func Color(g *graph.Graph, ord *order.Ordering, p int) *Result {
 		res.AtomicOps += st.atoms
 	}
 	res.NumColors = countDistinct(colors)
-	return res
+	return res, nil
 }
 
 func countDistinct(colors []uint32) int {

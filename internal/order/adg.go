@@ -1,6 +1,7 @@
 package order
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -80,18 +81,27 @@ const unsetRank = ^uint32(0)
 // Ordering carries the per-iteration partitions R(1..ρ) needed by DEC-ADG
 // and, for ADG-O, the fused JP predecessor counts.
 func ADG(g *graph.Graph, opts ADGOptions) *Ordering {
+	o, _ := ADGContext(context.Background(), g, opts)
+	return o
+}
+
+// ADGContext is ADG with cooperative cancellation: ctx is checked once
+// per peeling iteration (ADG performs O(log n / log(1+ε)) of them, Lemma
+// 1), so a cancelled caller gets control back within one round. On
+// cancellation the partial ordering is discarded and ctx.Err() returned.
+func ADGContext(ctx context.Context, g *graph.Graph, opts ADGOptions) (*Ordering, error) {
 	if opts.Epsilon < 0 {
 		opts.Epsilon = 0
 	}
 	if opts.Sorted {
-		return adgSorted(g, opts)
+		return adgSorted(ctx, g, opts)
 	}
-	return adgPlain(g, opts)
+	return adgPlain(ctx, g, opts)
 }
 
 // adgPlain is Algorithm 1 (and ADG-M): vertices removed in the same
 // iteration share a rank; ties are broken by the random permutation.
-func adgPlain(g *graph.Graph, opts ADGOptions) *Ordering {
+func adgPlain(ctx context.Context, g *graph.Graph, opts ADGOptions) (*Ordering, error) {
 	n := g.NumVertices()
 	p := opts.Procs
 	deg := g.Degrees()
@@ -111,6 +121,9 @@ func adgPlain(g *graph.Graph, opts ADGOptions) *Ordering {
 		cachedSum = par.ReduceInt64(p, n, func(i int) int64 { return int64(deg[i]) })
 	}
 	for len(active) > 0 {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		var batch []uint32
 		if opts.CacheDegreeSums && !opts.Median {
 			batch = selectBatchWithSum(active, deg, opts, p, cachedSum)
@@ -185,7 +198,7 @@ func adgPlain(g *graph.Graph, opts ADGOptions) *Ordering {
 	o := NewFromRanks(name, rank, opts.Seed)
 	o.Partitions = partitions
 	o.Iterations = int(iter)
-	return o
+	return o, nil
 }
 
 // selectBatch returns the vertices of active to remove this iteration:
@@ -241,7 +254,7 @@ func thresholdBatch(active []uint32, deg []int32, eps float64, p int, sum int64)
 // adgSorted is ADG-O (Algorithm 6): the contiguous [R … | U] array with
 // in-batch counting sort by residual degree, explicit total priorities, and
 // the fused JP in-degree computation in UPDATEandPRIORITIZE.
-func adgSorted(g *graph.Graph, opts ADGOptions) *Ordering {
+func adgSorted(ctx context.Context, g *graph.Graph, opts ADGOptions) (*Ordering, error) {
 	n := g.NumVertices()
 	p := opts.Procs
 	deg := g.Degrees()
@@ -258,6 +271,9 @@ func adgSorted(g *graph.Graph, opts ADGOptions) *Ordering {
 	removed := 0
 	iter := 0
 	for removed < n {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		active := arr[removed:]
 		var batch []uint32
 		if opts.Median {
@@ -324,7 +340,7 @@ func adgSorted(g *graph.Graph, opts ADGOptions) *Ordering {
 		Rank:       pos,
 		Iterations: iter,
 		PredCount:  predCount,
-	}
+	}, nil
 }
 
 // partitionInPlace stably reorders a so that elements satisfying keep come

@@ -1,0 +1,48 @@
+package order
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestADGContextCancelled checks cancellation across the ADG variants:
+// a cancelled context aborts the peeling loop with ctx.Err(), and a
+// background context matches the non-context entry point.
+func TestADGContextCancelled(t *testing.T) {
+	g, err := gen.Kronecker(10, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []ADGOptions{
+		{Epsilon: 0.01, Seed: 1},
+		{Epsilon: 0.01, Seed: 1, Sorted: true},
+		{Median: true, Seed: 1},
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		o, err := ADGContext(ctx, g, opts)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("opts %+v: want context.Canceled, got %v", opts, err)
+		}
+		if o != nil {
+			t.Fatalf("opts %+v: cancelled ADG must not return a partial ordering", opts)
+		}
+
+		o, err = ADGContext(context.Background(), g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ADG(g, opts)
+		if o.Iterations != want.Iterations || len(o.Keys) != len(want.Keys) {
+			t.Fatalf("opts %+v: ADGContext diverges from ADG", opts)
+		}
+		for v := range want.Keys {
+			if o.Keys[v] != want.Keys[v] {
+				t.Fatalf("opts %+v: key mismatch at %d", opts, v)
+			}
+		}
+	}
+}

@@ -20,9 +20,29 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
+
+// CtxErr is the cooperative-cancellation check used at the top of the
+// JP/ADG/DEC round loops. Beyond ctx.Err() it also compares the
+// context's deadline against the wall clock directly: ctx.Err() flips
+// only after the context's timer goroutine has run, and on GOMAXPROCS=1
+// a compute-bound round loop can keep that goroutine off the processor
+// for tens of milliseconds (until async preemption), making deadlines
+// land late or not at all. Reading the deadline needs no scheduling, so
+// expiry is observed at the very next round boundary.
+func CtxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
 
 // DefaultProcs returns the worker count used when a caller passes p <= 0:
 // the current GOMAXPROCS setting.

@@ -1,0 +1,21 @@
+package service
+
+import "errors"
+
+// Sentinel error classes the HTTP layer maps to status codes. Handlers
+// and the job manager wrap them with %w so errors.Is sees through the
+// request-specific detail text.
+var (
+	// ErrBadRequest maps to 400: malformed spec, unknown algorithm,
+	// unparsable payload.
+	ErrBadRequest = errors.New("bad request")
+	// ErrNotFound maps to 404: unregistered graph.
+	ErrNotFound = errors.New("not found")
+	// ErrConflict maps to 409: graph name already taken.
+	ErrConflict = errors.New("conflict")
+	// ErrCancelled maps to 499-style handling (the client is gone) or
+	// 504 on a server-enforced deadline.
+	ErrCancelled = errors.New("request cancelled")
+	// ErrMethodNotAllowed maps to 405: wrong HTTP method on a known path.
+	ErrMethodNotAllowed = errors.New("method not allowed")
+)

@@ -1,0 +1,330 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graphio"
+	"repro/internal/harness"
+	"repro/internal/par"
+)
+
+// maxUploadBytes bounds graph-upload POST bodies; maxColorBodyBytes
+// bounds /v1/color request bodies (a ColorRequest is tiny).
+const (
+	maxUploadBytes    = 256 << 20
+	maxColorBodyBytes = 1 << 20
+)
+
+// Server wires the registry, cache and job manager behind the HTTP JSON
+// API. Create with NewServer, mount via Handler.
+type Server struct {
+	reg   *Registry
+	mgr   *Manager
+	mux   *http.ServeMux
+	start time.Time
+
+	requests      atomic.Int64 // every API request
+	graphUploads  atomic.Int64
+	colorRequests atomic.Int64
+	colorErrors   atomic.Int64
+}
+
+// NewServer builds a Server with a fresh registry and manager.
+func NewServer(cfg ManagerConfig) *Server {
+	reg := NewRegistry()
+	s := &Server{
+		reg:   reg,
+		mgr:   NewManager(reg, cfg),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/v1/color", s.handleColor)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Registry exposes the graph registry (preloading, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Manager exposes the job manager (tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON pretty-prints — for the small curl-facing documents
+// (healthz, metrics, graph info, errors).
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeJSONCompact skips indentation — for the serving hot path, where
+// an includeColors response carries one array element per vertex and
+// indent whitespace would roughly double the payload.
+func writeJSONCompact(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps the service sentinel errors to HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	case errors.Is(err, ErrMethodNotAllowed):
+		status = http.StatusMethodNotAllowed
+	case errors.Is(err, ErrCancelled):
+		// The run hit a deadline or the client went away. 504 is the
+		// closest standard status for "the work was cut off".
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// graphUploadRequest is the POST /v1/graphs body: either a generator
+// spec or an inline payload in a named format.
+type graphUploadRequest struct {
+	Name string `json:"name"`
+	// Spec builds the graph from a deterministic generator ("kron:12").
+	Spec string `json:"spec"`
+	// Format + Data upload a graph inline: "edgelist" (SNAP/KONECT
+	// "u v" lines), "dimacs" (p edge/col + e lines) or "mm"
+	// (MatrixMarket coordinate pattern).
+	Format string `json:"format"`
+	Data   string `json:"data"`
+}
+
+// graphInfo is the JSON view of a registered graph.
+type graphInfo struct {
+	Name    string  `json:"name"`
+	Spec    string  `json:"spec"`
+	N       int     `json:"n"`
+	M       int64   `json:"m"`
+	MaxDeg  int     `json:"maxDeg"`
+	AvgDeg  float64 `json:"avgDeg"`
+	MinDeg  int     `json:"minDeg"`
+	Isolate int     `json:"isolated"`
+}
+
+func infoOf(e *GraphEntry) graphInfo {
+	return graphInfo{
+		Name:    e.Name,
+		Spec:    e.Spec,
+		N:       e.Stats.N,
+		M:       e.Stats.M,
+		MaxDeg:  e.Stats.MaxDeg,
+		AvgDeg:  e.Stats.AvgDeg,
+		MinDeg:  e.Stats.MinDeg,
+		Isolate: e.Stats.Isolated,
+	}
+}
+
+// handleGraphs serves POST (register) and GET (list) on /v1/graphs.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		list := s.reg.List()
+		infos := make([]graphInfo, len(list))
+		for i, e := range list {
+			infos[i] = infoOf(e)
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"graphs": infos})
+	case http.MethodPost:
+		// Read one byte past the limit so an oversized body is rejected
+		// explicitly instead of being silently truncated into a
+		// misleading JSON parse error.
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
+			return
+		}
+		if len(body) > maxUploadBytes {
+			writeError(w, fmt.Errorf("%w: body exceeds %d bytes", ErrBadRequest, maxUploadBytes))
+			return
+		}
+		var req graphUploadRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
+			return
+		}
+		entry, err := s.registerGraph(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		s.graphUploads.Add(1)
+		writeJSON(w, http.StatusOK, infoOf(entry))
+	default:
+		writeError(w, fmt.Errorf("%w: %s on /v1/graphs (want GET or POST)", ErrMethodNotAllowed, r.Method))
+	}
+}
+
+// registerGraph builds the graph from the upload request and registers it.
+func (s *Server) registerGraph(req graphUploadRequest) (*GraphEntry, error) {
+	// Resolve name collisions before paying the build cost: colorload
+	// re-registers its target on every run, and a conflicting name must
+	// not trigger a full (possibly GB-scale) generation just to fail.
+	// CheckExisting is the same rule Registry.Add enforces.
+	if old, err := s.reg.CheckExisting(req.Name, req.Spec); err != nil {
+		return nil, err
+	} else if old != nil {
+		return old, nil
+	}
+	switch {
+	case req.Spec != "" && req.Data != "":
+		return nil, fmt.Errorf("%w: give either spec or data, not both", ErrBadRequest)
+	case req.Spec != "":
+		g, err := BuildSpec(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return s.reg.Add(req.Name, req.Spec, g)
+	case req.Data != "":
+		rd := strings.NewReader(req.Data)
+		switch req.Format {
+		case "edgelist":
+			g, err := graphio.ReadEdgeList(rd)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			return s.reg.Add(req.Name, "upload:edgelist", g)
+		case "dimacs":
+			g, err := graphio.ReadDIMACSColor(rd)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			return s.reg.Add(req.Name, "upload:dimacs", g)
+		case "mm":
+			g, err := graphio.ReadMatrixMarket(rd)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			return s.reg.Add(req.Name, "upload:mm", g)
+		default:
+			return nil, fmt.Errorf("%w: unknown format %q (want edgelist|dimacs|mm)", ErrBadRequest, req.Format)
+		}
+	default:
+		return nil, fmt.Errorf("%w: need spec or format+data", ErrBadRequest)
+	}
+}
+
+// handleColor serves POST /v1/color. The request context carries client
+// disconnects; the manager layers the per-request deadline on top.
+func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s on /v1/color (want POST)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	s.colorRequests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxColorBodyBytes+1))
+	if err != nil {
+		s.colorErrors.Add(1)
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
+		return
+	}
+	if len(body) > maxColorBodyBytes {
+		s.colorErrors.Add(1)
+		writeError(w, fmt.Errorf("%w: body exceeds %d bytes", ErrBadRequest, maxColorBodyBytes))
+		return
+	}
+	var req ColorRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.colorErrors.Add(1)
+		writeError(w, fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
+		return
+	}
+	resp, err := s.mgr.Color(r.Context(), req)
+	if err != nil {
+		s.colorErrors.Add(1)
+		writeError(w, err)
+		return
+	}
+	writeJSONCompact(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// Metrics is the GET /metrics document: request counters, cache hit
+// rate, job-manager state and the persistent pool's scheduling counters
+// (the PR-1 instrumentation, now visible per process instead of per
+// benchmark run).
+type Metrics struct {
+	UptimeSeconds  float64       `json:"uptimeSeconds"`
+	Requests       int64         `json:"requests"`
+	GraphUploads   int64         `json:"graphUploads"`
+	ColorRequests  int64         `json:"colorRequests"`
+	ColorErrors    int64         `json:"colorErrors"`
+	Graphs         int           `json:"graphs"`
+	Algorithms     []string      `json:"algorithms"`
+	Cache          CacheStats    `json:"cache"`
+	CacheHitRate   float64       `json:"cacheHitRate"`
+	Jobs           ManagerStats  `json:"jobs"`
+	Pool           par.PoolStats `json:"pool"`
+	PoolWorkers    int           `json:"poolWorkers"`
+	GoMaxProcs     int           `json:"goMaxProcs"`
+	SchemaVersions struct {
+		AlgoRecord int `json:"algoRecord"`
+	} `json:"schemaVersions"`
+}
+
+// SnapshotMetrics builds the current Metrics document.
+func (s *Server) SnapshotMetrics() Metrics {
+	cs := s.mgr.Cache().Stats()
+	m := Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		GraphUploads:  s.graphUploads.Load(),
+		ColorRequests: s.colorRequests.Load(),
+		ColorErrors:   s.colorErrors.Load(),
+		Graphs:        s.reg.Len(),
+		Algorithms:    harness.Names(),
+		Cache:         cs,
+		CacheHitRate:  cs.HitRate(),
+		Jobs:          s.mgr.Stats(),
+		Pool:          par.DefaultPoolStats(),
+		PoolWorkers:   par.Default().Procs(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	m.SchemaVersions.AlgoRecord = harness.AlgoRecordSchemaVersion
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.SnapshotMetrics())
+}

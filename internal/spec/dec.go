@@ -1,6 +1,8 @@
 package spec
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/par"
@@ -34,7 +36,14 @@ func DECADGITR(g *graph.Graph, opts Options) *Result {
 // partitions retained). Exposed so the harness can time reordering and
 // coloring separately, as Fig. 1's stacked bars do.
 func DecomposeOrdering(g *graph.Graph, opts Options, median bool) *order.Ordering {
-	return order.ADG(g, order.ADGOptions{
+	ord, _ := DecomposeOrderingContext(context.Background(), g, opts, median)
+	return ord
+}
+
+// DecomposeOrderingContext is DecomposeOrdering with cooperative
+// cancellation (checked once per ADG peeling iteration).
+func DecomposeOrderingContext(ctx context.Context, g *graph.Graph, opts Options, median bool) (*order.Ordering, error) {
+	return order.ADGContext(ctx, g, order.ADGOptions{
 		Epsilon: opts.epsilon() / 12,
 		Procs:   opts.procs(),
 		Seed:    opts.Seed,
@@ -45,7 +54,16 @@ func DecomposeOrdering(g *graph.Graph, opts Options, median bool) *order.Orderin
 // ColorDecomposition runs the coloring phase of Algorithm 4 (or the
 // DEC-ADG-ITR variant) over a precomputed ADG decomposition.
 func ColorDecomposition(g *graph.Graph, ord *order.Ordering, opts Options, itrRule bool) *Result {
-	return decColorWithOrdering(g, ord, opts, itrRule)
+	res, _ := ColorDecompositionContext(context.Background(), g, ord, opts, itrRule)
+	return res
+}
+
+// ColorDecompositionContext is ColorDecomposition with cooperative
+// cancellation, checked once per partition (there are O(log n) of them).
+// On cancellation the partial coloring is discarded and ctx.Err()
+// returned.
+func ColorDecompositionContext(ctx context.Context, g *graph.Graph, ord *order.Ordering, opts Options, itrRule bool) (*Result, error) {
+	return decColorWithOrdering(ctx, g, ord, opts, itrRule)
 }
 
 func decColor(g *graph.Graph, opts Options, median, itrRule bool) *Result {
@@ -53,16 +71,17 @@ func decColor(g *graph.Graph, opts Options, median, itrRule bool) *Result {
 		return &Result{Colors: []uint32{}}
 	}
 	ord := DecomposeOrdering(g, opts, median)
-	return decColorWithOrdering(g, ord, opts, itrRule)
+	res, _ := decColorWithOrdering(context.Background(), g, ord, opts, itrRule)
+	return res
 }
 
-func decColorWithOrdering(g *graph.Graph, ord *order.Ordering, opts Options, itrRule bool) *Result {
+func decColorWithOrdering(ctx context.Context, g *graph.Graph, ord *order.Ordering, opts Options, itrRule bool) (*Result, error) {
 	n := g.NumVertices()
 	p := opts.procs()
 	eps := opts.epsilon()
 	res := &Result{Colors: make([]uint32, n)}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 	res.OrderIterations = ord.Iterations
 
@@ -76,6 +95,9 @@ func decColorWithOrdering(g *graph.Graph, ord *order.Ordering, opts Options, itr
 
 	// Lines 12-19: color partitions from the last (densest) to the first.
 	for l := len(ord.Partitions) - 1; l >= 0; l-- {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		part := ord.Partitions[l]
 		rl := uint32(l)
 		// Lines 16-18: pull colors of already-colored higher partitions
@@ -99,7 +121,7 @@ func decColorWithOrdering(g *graph.Graph, ord *order.Ordering, opts Options, itr
 	}
 	copy(res.Colors, st.colors)
 	res.finish()
-	return res
+	return res, nil
 }
 
 func sumDegrees(g *graph.Graph, vs []uint32) int64 {

@@ -22,11 +22,16 @@
 //	res, _ := parcolor.Color(g, parcolor.JPADG, parcolor.Options{Epsilon: 0.01})
 //	fmt.Println(res.NumColors, "colors")
 //
-// All algorithms are Las Vegas: results are always proper colorings and,
-// for fixed seeds, independent of the worker count.
+// All algorithms are Las Vegas: results are always proper colorings.
+// The JP orderings (except ASL), the ADG family, DEC-ADG(-ITR), Luby-MIS
+// and the sequential baselines are additionally deterministic: for fixed
+// seeds their coloring is independent of the worker count and of
+// scheduling. JP-ASL, ITR, ITRB and GM trade that guarantee for speed —
+// their (still proper) colorings can vary across runs.
 package parcolor
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -89,6 +94,16 @@ func Algorithms() []string { return harness.Names() }
 
 // Color colors g with the named algorithm and verifies the result.
 func Color(g *Graph, algorithm string, opt Options) (*Result, error) {
+	return ColorContext(context.Background(), g, algorithm, opt)
+}
+
+// ColorContext is Color with cooperative cancellation: the JP frontier
+// loop, the ADG peeling loop and the DEC partition loop check ctx once
+// per parallel round, so cancelling (or timing out) a long run returns
+// within one round with ctx's error instead of running to completion.
+// This is what lets a serving layer (cmd/colord) enforce per-request
+// deadlines without abandoning goroutines mid-flight.
+func ColorContext(ctx context.Context, g *Graph, algorithm string, opt Options) (*Result, error) {
 	a, err := harness.Lookup(algorithm)
 	if err != nil {
 		return nil, err
@@ -101,6 +116,7 @@ func Color(g *Graph, algorithm string, opt Options) (*Result, error) {
 		Procs:   opt.Procs,
 		Seed:    opt.Seed,
 		Epsilon: eps,
+		Ctx:     ctx,
 	})
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Closed-loop load test: build colord + colorload, start the daemon,
+# drive it, print the latency/cache summary, shut down. Fails when any
+# request errors or any returned coloring fails client-side verification
+# (colorload exits non-zero in both cases).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${COLORD_ADDR:-127.0.0.1:8741}"
+CLIENTS="${LOAD_CLIENTS:-8}"
+REQUESTS="${LOAD_REQUESTS:-200}"
+INFLIGHT="${COLORD_INFLIGHT:-8}"
+SPEC="${LOAD_SPEC:-kron:12}"
+
+mkdir -p bin
+go build -o bin/colord ./cmd/colord
+go build -o bin/colorload ./cmd/colorload
+
+bin/colord -addr "$ADDR" -max-inflight "$INFLIGHT" &
+COLORD_PID=$!
+trap 'kill "$COLORD_PID" 2>/dev/null || true; wait "$COLORD_PID" 2>/dev/null || true' EXIT
+
+# Wait for the daemon to come up (healthz), at most ~5s.
+up=""
+for _ in $(seq 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "loadtest: colord did not become healthy on $ADDR" >&2
+    exit 1
+fi
+
+bin/colorload -addr "http://$ADDR" -graph loadtest -spec "$SPEC" \
+    -c "$CLIENTS" -n "$REQUESTS" -verify
