@@ -3,7 +3,7 @@
 # in .github/workflows/ci.yml (TestMakefileMatchesWorkflow enforces it),
 # so local `make ci` and the workflow can never drift.
 
-.PHONY: ci fmt vet build test race bench json loadtest
+.PHONY: ci fmt vet build test race bench json loadtest fuzz-smoke cover
 
 ci: fmt vet build test race
 
@@ -29,8 +29,25 @@ json:
 	go run ./cmd/colorbench -json BENCH_local.json
 
 # loadtest starts colord, drives it with colorload (>= 8 concurrent
-# clients, >= 200 requests against a scale-12 Kronecker graph, every
-# returned coloring verified client-side) and prints the latency summary
-# and cache hit rate. Tune via COLORD_ADDR/LOAD_CLIENTS/LOAD_REQUESTS.
+# clients, >= 200 requests against a scale-12 Kronecker graph, 20% of
+# them mutation batches, every returned coloring verified client-side
+# against the replayed mutation log) and prints the latency summary and
+# cache hit rate. Tune via COLORD_ADDR/LOAD_CLIENTS/LOAD_REQUESTS/
+# LOAD_MUTATE.
 loadtest:
 	./scripts/loadtest.sh
+
+# fuzz-smoke gives each graphio fuzz target a short budget (the CI
+# gate; seed corpora live in internal/graphio/testdata/fuzz). Raise
+# FUZZTIME locally for a real hunt.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	go test ./internal/graphio -run '^$$' -fuzz 'FuzzParseDIMACS$$' -fuzztime $(FUZZTIME)
+	go test ./internal/graphio -run '^$$' -fuzz 'FuzzParseEdgeList$$' -fuzztime $(FUZZTIME)
+	go test ./internal/graphio -run '^$$' -fuzz 'FuzzParseMatrixMarket$$' -fuzztime $(FUZZTIME)
+
+# cover enforces the >= 80% statement-coverage floor on the core
+# packages (graph, jp, order, spec, verify, dynamic) and leaves the
+# merged profile in coverage.out (uploaded as a CI artifact).
+cover:
+	./scripts/coverage.sh

@@ -41,7 +41,29 @@
 //
 //	curl -s localhost:8712/metrics
 //
-// Drive sustained load with cmd/colorload.
+// # Mutations
+//
+// Graphs are mutable: POST a batch of edge/vertex insertions and
+// deletions and the daemon repairs a maintained coloring incrementally
+// (a localized JP-ADG-style pass over the conflict frontier; see
+// internal/dynamic):
+//
+//	curl -s -X POST localhost:8712/v1/graphs/kron12/mutate \
+//	     -d '{"addEdges":[[0,1],[5,9]],"delEdges":[[2,3]],"addVertices":1}'
+//
+// The response reports the new graph version, the conflict frontier
+// size, how many vertices the repair recolored and whether it fell
+// back to a full recolor. Every mutation bumps the graph's version;
+// /v1/color responses carry the version they were computed against and
+// the result cache keys on it, so a stale coloring can never be served
+// across a mutation. Inspect a single graph (including its version)
+// with:
+//
+//	curl -s localhost:8712/v1/graphs/kron12
+//
+// Drive sustained load — including a mixed color/mutate workload with
+// client-side verification against a replayed mutation log — with
+// cmd/colorload.
 package main
 
 import (
@@ -90,7 +112,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "colord: -preload %s: %v\n", name, err)
 				os.Exit(2)
 			}
-			fmt.Printf("colord: preloaded %s (%s): n=%d m=%d\n", name, spec, e.Stats.N, e.Stats.M)
+			st := e.Stats()
+			fmt.Printf("colord: preloaded %s (%s): n=%d m=%d\n", name, spec, st.N, st.M)
 		}
 	}
 

@@ -1,20 +1,34 @@
 // Command colorload is the closed-loop load generator for colord: -c
-// concurrent clients issue -n coloring requests over a key space of
+// concurrent clients issue -n requests over a key space of
 // (algorithm, seed) pairs, verify every returned coloring client-side
 // against a locally regenerated copy of the graph (possible because
 // generator specs are deterministic), check cross-request determinism
 // (identical keys must return identical colorings regardless of which
-// worker/cache path served them), and report p50/p95/p99 latency, req/s
-// and the server's cache hit rate.
+// worker/cache path served them), and report p50/p95/p99 latency,
+// req/s and the server's cache hit rate.
+//
+// With -mutate-frac > 0 the workload is mixed: that fraction of
+// requests POST a mutation batch (random edge inserts/deletes) to
+// /v1/graphs/{id}/mutate instead of coloring. The client keeps its own
+// replayed mutation log — an identical dynamic.Overlay applied in send
+// order — and a replica snapshot per graph version, so EVERY returned
+// coloring (color responses and the maintained coloring in mutate
+// responses alike) is verified against the exact graph version the
+// server reports it was computed for. A coloring served stale across a
+// mutation would fail properness against that version's replica, which
+// is precisely the regression this guards against. colorload assumes it
+// is the only mutator of its target graph (a version mismatch between
+// the replayed log and the server is reported as a verification error).
 //
 // Usage:
 //
 //	colorload [-addr http://127.0.0.1:8712] [-graph kron12]
 //	          [-spec kron:12] [-algos JP-ADG,DEC-ADG-ITR] [-seeds 4]
 //	          [-c 8] [-n 200] [-eps 0.01] [-verify]
+//	          [-mutate-frac 0.2] [-mutate-batch 8]
 //
-// The target graph is registered first (idempotent): a run needs nothing
-// but a listening colord.
+// The target graph is registered first (idempotent): a run needs
+// nothing but a listening colord.
 package main
 
 import (
@@ -32,9 +46,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/service"
 	"repro/internal/verify"
+	"repro/internal/xrand"
 )
 
 type client struct {
@@ -85,6 +101,106 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
+// mutator owns the replayed mutation log: it serializes mutate
+// requests (the lock is held across the HTTP call so the local replay
+// order matches the server's application order), mirrors every batch
+// on a local dynamic.Overlay, and snapshots a replica per version for
+// later verification of color responses.
+type mutator struct {
+	mu    sync.Mutex
+	cl    *client
+	graph string
+	ov    *dynamic.Overlay
+	snaps map[uint64]*graph.Graph
+	rng   *xrand.RNG
+	batch int
+
+	conflicts int64
+	repaired  int64
+	fallbacks int64
+}
+
+// replica returns the local graph at the given server-reported version.
+func (m *mutator) replica(version uint64) *graph.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snaps[version]
+}
+
+// mutate sends one random batch, replays it locally and verifies the
+// returned maintained coloring. Returns the HTTP round-trip latency
+// (measured inside the lock so client-side queueing on the replay
+// mutex never inflates the reported percentiles), a verification
+// error message ("" when clean) and a request error.
+func (m *mutator) mutate(doVerify bool) (time.Duration, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.ov.NumVertices()
+	req := service.MutateRequest{IncludeColors: doVerify}
+	for i := 0; i < m.batch; i++ {
+		u := uint32(m.rng.Intn(n))
+		v := uint32(m.rng.Intn(n))
+		if m.rng.Intn(4) == 0 {
+			req.DelEdges = append(req.DelEdges, [2]uint32{u, v})
+		} else {
+			req.AddEdges = append(req.AddEdges, [2]uint32{u, v})
+		}
+	}
+	var resp service.MutateResponse
+	t0 := time.Now()
+	_, err := m.cl.postJSON("/v1/graphs/"+m.graph+"/mutate", req, &resp)
+	rtt := time.Since(t0)
+	if err != nil {
+		return rtt, "", err
+	}
+	atomic.AddInt64(&m.conflicts, int64(resp.ConflictEdges))
+	atomic.AddInt64(&m.repaired, int64(resp.RepairedVertices))
+	if resp.Fallback {
+		atomic.AddInt64(&m.fallbacks, 1)
+	}
+	// Replay the same batch on the local overlay, in send order.
+	b := dynamic.Batch{AddVertices: req.AddVertices}
+	for _, e := range req.DelEdges {
+		b.DelEdges = append(b.DelEdges, graph.Edge{U: e[0], V: e[1]})
+	}
+	for _, e := range req.AddEdges {
+		b.AddEdges = append(b.AddEdges, graph.Edge{U: e[0], V: e[1]})
+	}
+	if _, err := m.ov.Apply(b); err != nil {
+		return rtt, fmt.Sprintf("local replay rejected batch: %v", err), nil
+	}
+	if m.ov.Version() != resp.Version {
+		return rtt, fmt.Sprintf("version diverged: server %d, replayed log %d (another mutator?)",
+			resp.Version, m.ov.Version()), nil
+	}
+	if !doVerify {
+		return rtt, "", nil
+	}
+	snap, err := m.ov.Snapshot(0)
+	if err != nil {
+		return rtt, fmt.Sprintf("local snapshot: %v", err), nil
+	}
+	m.snaps[resp.Version] = snap
+	// Bound replica memory on long soak runs: an in-flight color
+	// response can only reference a recent version (closed-loop clients
+	// hold at most one request each), so anything far behind the head is
+	// unreachable and can be dropped.
+	if resp.Version > replicaWindow {
+		delete(m.snaps, resp.Version-replicaWindow)
+	}
+	if err := verify.CheckProper(snap, resp.Colors); err != nil {
+		return rtt, fmt.Sprintf("maintained coloring improper at version %d: %v", resp.Version, err), nil
+	}
+	return rtt, "", nil
+}
+
+// replicaWindow is how many recent per-version replicas the mutator
+// retains. Each replica is a full CSR; without a bound a -n 100000
+// soak run with mutations would accumulate tens of thousands of graph
+// copies. Far larger than the number of concurrently in-flight
+// requests, so verification never misses its replica.
+const replicaWindow = 512
+
 func main() {
 	var (
 		addr    = flag.String("addr", "http://127.0.0.1:8712", "colord base URL")
@@ -95,7 +211,9 @@ func main() {
 		clients = flag.Int("c", 8, "concurrent closed-loop clients")
 		total   = flag.Int("n", 200, "total requests")
 		eps     = flag.Float64("eps", 0.01, "epsilon for the ADG-based algorithms")
-		doVer   = flag.Bool("verify", true, "verify every returned coloring against the locally regenerated graph")
+		doVer   = flag.Bool("verify", true, "verify every returned coloring against the locally replayed graph")
+		mutFrac = flag.Float64("mutate-frac", 0.2, "fraction of requests that mutate the graph (0 disables)")
+		mutSize = flag.Int("mutate-batch", 8, "edges per mutation batch")
 	)
 	flag.Parse()
 	algoList := strings.Split(*algos, ",")
@@ -103,37 +221,71 @@ func main() {
 		fmt.Fprintln(os.Stderr, "colorload: -seeds, -c, -n and -algos must be positive/non-empty")
 		os.Exit(2)
 	}
+	if *mutFrac < 0 || *mutFrac > 1 || (*mutFrac > 0 && *mutSize < 1) {
+		fmt.Fprintln(os.Stderr, "colorload: -mutate-frac must be in [0,1] and -mutate-batch positive")
+		os.Exit(2)
+	}
+	// A mutated graph name must not collide with a previous run's state:
+	// mutation versions advance monotonically server-side, and a fresh
+	// replayed log starts at 0. Re-registration of an identical spec is
+	// idempotent, so a still-running daemon keeps the mutated graph —
+	// refuse to verify in that case rather than report false negatives.
+	mutEvery := 0
+	if *mutFrac > 0 {
+		mutEvery = int(1 / *mutFrac)
+		if mutEvery < 1 {
+			mutEvery = 1
+		}
+	}
 
 	cl := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: 120 * time.Second}}
 
 	// Register the graph (idempotent for equal specs).
 	var info struct {
-		N int   `json:"n"`
-		M int64 `json:"m"`
+		N       int    `json:"n"`
+		M       int64  `json:"m"`
+		Version uint64 `json:"version"`
 	}
 	if _, err := cl.postJSON("/v1/graphs", map[string]string{"name": *name, "spec": *spec}, &info); err != nil {
 		fmt.Fprintf(os.Stderr, "colorload: registering %s=%s: %v\n", *name, *spec, err)
 		os.Exit(1)
 	}
-	fmt.Printf("colorload: target %s graph %s (%s): n=%d m=%d\n", cl.base, *name, *spec, info.N, info.M)
+	fmt.Printf("colorload: target %s graph %s (%s): n=%d m=%d version=%d\n",
+		cl.base, *name, *spec, info.N, info.M, info.Version)
 
-	// Local replica for verification.
+	// Local replica for verification and the replayed mutation log.
+	var mut *mutator
 	var local *graph.Graph
-	if *doVer {
+	if *doVer || mutEvery > 0 {
 		g, err := service.BuildSpec(*spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "colorload: rebuilding %s locally: %v\n", *spec, err)
 			os.Exit(1)
 		}
 		local = g
+		if info.Version != 0 {
+			fmt.Fprintf(os.Stderr, "colorload: graph %s is already at version %d (mutated by a previous run?); restart colord or pick a fresh -graph name\n",
+				*name, info.Version)
+			os.Exit(1)
+		}
+		mut = &mutator{
+			cl:    cl,
+			graph: *name,
+			ov:    dynamic.NewOverlay(g),
+			snaps: map[uint64]*graph.Graph{0: g},
+			rng:   xrand.New(20260729),
+			batch: *mutSize,
+		}
 	}
 
 	var (
 		next      atomic.Int64
 		okCount   atomic.Int64
+		mutCount  atomic.Int64
 		cachedHit atomic.Int64
 		coalesced atomic.Int64
 		verErrs   atomic.Int64
+		verified  atomic.Int64
 		reqErrs   atomic.Int64
 
 		latMu sync.Mutex
@@ -159,6 +311,25 @@ func main() {
 				if i >= int64(*total) {
 					return
 				}
+				if mutEvery > 0 && i%int64(mutEvery) == int64(mutEvery)-1 {
+					mutCount.Add(1)
+					rtt, verMsg, err := mut.mutate(*doVer)
+					record(rtt)
+					switch {
+					case err != nil:
+						reqErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "colorload: mutate %d: %v\n", i, err)
+					case verMsg != "":
+						verErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "colorload: mutate %d: %s\n", i, verMsg)
+					default:
+						okCount.Add(1)
+						if *doVer {
+							verified.Add(1)
+						}
+					}
+					continue
+				}
 				req := service.ColorRequest{
 					Graph:         *name,
 					Algorithm:     algoList[i%int64(len(algoList))],
@@ -183,17 +354,33 @@ func main() {
 					coalesced.Add(1)
 				}
 				if *doVer {
-					if err := verify.CheckProper(local, resp.Colors); err != nil {
+					// Verify against the replica of the exact version the
+					// server computed this coloring for: the stale-cache
+					// guard across mutations.
+					replica := local
+					if mut != nil {
+						replica = mut.replica(resp.GraphVersion)
+					}
+					if replica == nil {
 						verErrs.Add(1)
-						fmt.Fprintf(os.Stderr, "colorload: IMPROPER coloring for %s seed %d: %v\n", req.Algorithm, req.Seed, err)
+						fmt.Fprintf(os.Stderr, "colorload: no replica for version %d (request %d)\n", resp.GraphVersion, i)
 						continue
 					}
+					if err := verify.CheckProper(replica, resp.Colors); err != nil {
+						verErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "colorload: IMPROPER coloring for %s seed %d at version %d: %v\n",
+							req.Algorithm, req.Seed, resp.GraphVersion, err)
+						continue
+					}
+					verified.Add(1)
 					// Determinism across requests: equal keys, equal
 					// colors — but only for algorithms carrying the
 					// guarantee (the server never caches the others, and
-					// their colorings legitimately vary run to run).
+					// their colorings legitimately vary run to run). The
+					// key includes the graph version: colorings of
+					// different versions are allowed to differ.
 					if resp.Deterministic {
-						key := service.Key{Graph: *name, Algorithm: req.Algorithm, Seed: req.Seed, Epsilon: *eps}
+						key := service.Key{Graph: *name, Version: resp.GraphVersion, Algorithm: req.Algorithm, Seed: req.Seed, Epsilon: *eps}
 						h := colorsHash(resp.Colors)
 						hashMu.Lock()
 						if prev, ok := hashes[key]; ok && prev != h {
@@ -211,12 +398,16 @@ func main() {
 	wall := time.Since(start)
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	fmt.Printf("colorload: %d requests, %d ok, %d errors, %d verify failures in %.2fs (%.1f req/s)\n",
-		*total, okCount.Load(), reqErrs.Load(), verErrs.Load(), wall.Seconds(),
+	fmt.Printf("colorload: %d requests (%d mutations), %d ok, %d errors, %d verify failures in %.2fs (%.1f req/s)\n",
+		*total, mutCount.Load(), okCount.Load(), reqErrs.Load(), verErrs.Load(), wall.Seconds(),
 		float64(*total)/wall.Seconds())
 	if *doVer {
-		fmt.Printf("colorload: every returned coloring verified proper on the local %s replica (%d distinct keys)\n",
-			*spec, len(hashes))
+		fmt.Printf("colorload: %d/%d returned colorings verified against the replayed %s log (%d distinct keys)\n",
+			verified.Load(), okCount.Load(), *spec, len(hashes))
+	}
+	if mut != nil && mutCount.Load() > 0 {
+		fmt.Printf("colorload: mutations reached version %d: %d conflict edges, %d vertices repaired, %d fallback recolors\n",
+			mut.ov.Version(), atomic.LoadInt64(&mut.conflicts), atomic.LoadInt64(&mut.repaired), atomic.LoadInt64(&mut.fallbacks))
 	}
 	fmt.Printf("colorload: latency p50 %v  p95 %v  p99 %v  max %v\n",
 		percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99), percentile(lats, 1.0))
@@ -228,8 +419,8 @@ func main() {
 		defer mresp.Body.Close()
 		var m service.Metrics
 		if json.NewDecoder(mresp.Body).Decode(&m) == nil {
-			fmt.Printf("colorload: server cache hit rate %.1f%% (%d hits / %d misses, %d entries), inflight max %d, pool forks %d dispatches %d\n",
-				100*m.CacheHitRate, m.Cache.Hits, m.Cache.Misses, m.Cache.Entries,
+			fmt.Printf("colorload: server cache hit rate %.1f%% (%d hits / %d misses, %d entries, %d invalidated), inflight max %d, pool forks %d dispatches %d\n",
+				100*m.CacheHitRate, m.Cache.Hits, m.Cache.Misses, m.Cache.Entries, m.CacheInvalidations,
 				m.Jobs.MaxInflight, m.Pool.Forks, m.Pool.Dispatches)
 		}
 	}

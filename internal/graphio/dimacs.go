@@ -11,9 +11,16 @@ import (
 )
 
 // ReadDIMACSColor parses the DIMACS graph-coloring format [99]
-// ("c …" comments, "p edge N M" header, "e u v" edges, 1-indexed).
-// This is the format of the classic coloring benchmark instances.
+// ("c …" comments, "p edge N M" header, "e u v" edges, 1-indexed)
+// under DefaultLimits. This is the format of the classic coloring
+// benchmark instances.
 func ReadDIMACSColor(r io.Reader) (*graph.Graph, error) {
+	return ReadDIMACSColorLimits(r, DefaultLimits)
+}
+
+// ReadDIMACSColorLimits is ReadDIMACSColor under explicit limits.
+func ReadDIMACSColorLimits(r io.Reader, lim ParseLimits) (*graph.Graph, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	n := -1
@@ -37,8 +44,15 @@ func ReadDIMACSColor(r io.Reader) (*graph.Graph, error) {
 			if err != nil || v < 0 {
 				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[2])
 			}
-			if m, err := strconv.Atoi(fields[3]); err != nil || m < 0 {
+			if v > lim.MaxVertices {
+				return nil, fmt.Errorf("graphio: line %d: %d vertices exceeds limit %d", lineNo, v, lim.MaxVertices)
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil || m < 0 {
 				return nil, fmt.Errorf("graphio: line %d: bad edge count %q", lineNo, fields[3])
+			}
+			if err := lim.checkEdges(int64(m), lineNo); err != nil {
+				return nil, err
 			}
 			n = v
 		case "e":
@@ -58,6 +72,9 @@ func ReadDIMACSColor(r io.Reader) (*graph.Graph, error) {
 			}
 			if u == 0 || v == 0 || int(u) > n || int(v) > n {
 				return nil, fmt.Errorf("graphio: line %d: vertex out of range in %q", lineNo, line)
+			}
+			if err := lim.checkEdges(int64(len(edges))+1, lineNo); err != nil {
+				return nil, err
 			}
 			edges = append(edges, graph.Edge{U: uint32(u - 1), V: uint32(v - 1)})
 		default:

@@ -1,0 +1,184 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzLimits keeps a hostile input from turning the fuzzer into an
+// allocation benchmark: the parsers must reject anything bigger with a
+// clean error, which is itself part of what the targets check.
+var fuzzLimits = ParseLimits{MaxVertices: 1 << 16, MaxEdges: 1 << 18}
+
+// checkParsed asserts the invariants every successful parse must
+// satisfy: a structurally valid simple undirected CSR within limits.
+func checkParsed(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	if g == nil {
+		t.Fatal("nil graph with nil error")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("parsed graph fails Validate: %v", err)
+	}
+	if g.NumVertices() > fuzzLimits.MaxVertices {
+		t.Fatalf("parse exceeded vertex limit: n=%d", g.NumVertices())
+	}
+}
+
+func FuzzParseEdgeList(f *testing.F) {
+	for _, seed := range []string{
+		"0 1\n1 2\n2 0\n",
+		"# comment\n% other comment\n\n3 4 99\n4 3\n",
+		"0 0\n",
+		"10 11\n",
+		"65535 2\n",
+		"4294967295 0\n", // over the fuzz vertex limit: must error, not allocate
+		"1 x\n",
+		"7\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeListLimits(bytes.NewReader(data), fuzzLimits)
+		if err != nil {
+			return
+		}
+		checkParsed(t, g)
+		// Round-trip: writing and re-reading must preserve the edge set
+		// (trailing isolated vertices may drop — ids are re-derived).
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		g2, err := ReadEdgeListLimits(bytes.NewReader(buf.Bytes()), fuzzLimits)
+		if err != nil {
+			t.Fatalf("re-parse of written edge list: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed m: %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+func FuzzParseDIMACS(f *testing.F) {
+	for _, seed := range []string{
+		"p edge 3 3\ne 1 2\ne 2 3\ne 3 1\n",
+		"c comment\np col 4 2\ne 1 4\ne 2 3\n",
+		"p edge 2 1\ne 1 2\ne 1 2\ne 2 1\n",
+		"p edge 0 0\n",
+		"e 1 2\n",
+		"p edge 99999999999 1\n",
+		"p edge 4\n",
+		"p edge 4 1\ne 1 9\n",
+		"x 1 2\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadDIMACSColorLimits(bytes.NewReader(data), fuzzLimits)
+		if err != nil {
+			return
+		}
+		checkParsed(t, g)
+		// Round-trip through the DIMACS writer: n is declared in the
+		// header, so it survives exactly, as does the edge set.
+		var buf bytes.Buffer
+		if err := WriteDIMACSColor(&buf, g); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		g2, err := ReadDIMACSColorLimits(bytes.NewReader(buf.Bytes()), fuzzLimits)
+		if err != nil {
+			t.Fatalf("re-parse of written DIMACS: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: n %d->%d m %d->%d",
+				g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+func FuzzParseMatrixMarket(f *testing.F) {
+	for _, seed := range []string{
+		"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 3\n1 2\n2 3\n3 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n% c\n2 4 1\n1 4\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n1 1 0\n",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n999999999999 1 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 99999999999\n1 2\n",
+		"not a header\n",
+		"",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadMatrixMarketLimits(bytes.NewReader(data), fuzzLimits)
+		if err != nil {
+			return
+		}
+		checkParsed(t, g)
+	})
+}
+
+// TestParseLimitsRejectHugeDeclarations pins the allocation-bomb fix
+// outside the fuzz engine: tiny inputs declaring huge graphs must fail
+// fast under every parser, and the default wrappers still accept
+// normal input.
+func TestParseLimitsRejectHugeDeclarations(t *testing.T) {
+	small := ParseLimits{MaxVertices: 100, MaxEdges: 10}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"edgelist-vertex", func() error {
+			_, err := ReadEdgeListLimits(strings.NewReader("4000000 1\n"), small)
+			return err
+		}},
+		{"edgelist-edges", func() error {
+			var sb strings.Builder
+			for i := 0; i < 20; i++ {
+				sb.WriteString("1 2\n")
+			}
+			_, err := ReadEdgeListLimits(strings.NewReader(sb.String()), small)
+			return err
+		}},
+		{"dimacs-vertices", func() error {
+			_, err := ReadDIMACSColorLimits(strings.NewReader("p edge 4000000 1\n"), small)
+			return err
+		}},
+		{"dimacs-declared-edges", func() error {
+			_, err := ReadDIMACSColorLimits(strings.NewReader("p edge 10 4000000\n"), small)
+			return err
+		}},
+		{"mm-vertices", func() error {
+			_, err := ReadMatrixMarketLimits(strings.NewReader(
+				"%%MatrixMarket matrix coordinate pattern symmetric\n4000000 1 1\n1 1\n"), small)
+			return err
+		}},
+		{"mm-declared-nnz", func() error {
+			_, err := ReadMatrixMarketLimits(strings.NewReader(
+				"%%MatrixMarket matrix coordinate pattern symmetric\n10 10 4000000\n1 2\n"), small)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if err := c.run(); err == nil {
+			t.Errorf("%s: accepted input beyond limits", c.name)
+		}
+	}
+
+	// Default wrappers still parse ordinary inputs.
+	if _, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n")); err != nil {
+		t.Errorf("default edgelist: %v", err)
+	}
+	if _, err := ReadDIMACSColor(strings.NewReader("p edge 2 1\ne 1 2\n")); err != nil {
+		t.Errorf("default dimacs: %v", err)
+	}
+	if _, err := ReadMatrixMarket(strings.NewReader(
+		"%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n")); err != nil {
+		t.Errorf("default mm: %v", err)
+	}
+}

@@ -20,11 +20,61 @@ import (
 	"repro/internal/graph"
 )
 
-// ReadEdgeList parses an edge list. Vertex IDs are arbitrary non-negative
-// integers; the graph is built over 0..maxID. Lines starting with '#' or
-// '%' are comments; blank lines are skipped. A line with fewer than two
-// fields is an error; extra fields (weights) are ignored.
+// ParseLimits bounds what a parsed input may make the process
+// allocate. Text inputs can be tiny yet declare huge graphs — a
+// 20-byte edge list naming vertex 4e9 would otherwise commit a
+// multi-GB CSR counts array — so every parser checks ids and edge
+// counts against its limits as it reads, not after. The zero value
+// means "use DefaultLimits"; the fuzz targets parse under much smaller
+// limits so the fuzzer explores parser logic instead of the allocator.
+type ParseLimits struct {
+	// MaxVertices caps the largest vertex id + 1 a parse may produce.
+	MaxVertices int
+	// MaxEdges caps the number of edge entries read (pre-dedup).
+	MaxEdges int64
+}
+
+// DefaultLimits is generous enough for every dataset in Table V's
+// weight class while keeping the worst-case allocation of a hostile
+// input bounded (a 2^28-vertex CSR costs ~2 GB of offsets).
+var DefaultLimits = ParseLimits{MaxVertices: 1 << 28, MaxEdges: 1 << 33}
+
+func (l ParseLimits) withDefaults() ParseLimits {
+	if l.MaxVertices <= 0 {
+		l.MaxVertices = DefaultLimits.MaxVertices
+	}
+	if l.MaxEdges <= 0 {
+		l.MaxEdges = DefaultLimits.MaxEdges
+	}
+	return l
+}
+
+func (l ParseLimits) checkVertex(id uint64, lineNo int) error {
+	if id >= uint64(l.MaxVertices) {
+		return fmt.Errorf("graphio: line %d: vertex id %d exceeds limit %d", lineNo, id, l.MaxVertices)
+	}
+	return nil
+}
+
+func (l ParseLimits) checkEdges(m int64, lineNo int) error {
+	if m > l.MaxEdges {
+		return fmt.Errorf("graphio: line %d: edge count exceeds limit %d", lineNo, l.MaxEdges)
+	}
+	return nil
+}
+
+// ReadEdgeList parses an edge list under DefaultLimits. Vertex IDs are
+// arbitrary non-negative integers; the graph is built over 0..maxID.
+// Lines starting with '#' or '%' are comments; blank lines are skipped.
+// A line with fewer than two fields is an error; extra fields (weights)
+// are ignored.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	return ReadEdgeListLimits(r, DefaultLimits)
+}
+
+// ReadEdgeListLimits is ReadEdgeList under explicit limits.
+func ReadEdgeListLimits(r io.Reader, lim ParseLimits) (*graph.Graph, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var edges []graph.Edge
@@ -47,6 +97,15 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		v, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graphio: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		if err := lim.checkVertex(u, lineNo); err != nil {
+			return nil, err
+		}
+		if err := lim.checkVertex(v, lineNo); err != nil {
+			return nil, err
+		}
+		if err := lim.checkEdges(int64(len(edges))+1, lineNo); err != nil {
+			return nil, err
 		}
 		edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
 		if int(u) > maxID {
@@ -80,10 +139,16 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 }
 
 // ReadMatrixMarket reads a MatrixMarket coordinate "pattern" file
-// (1-indexed) as an undirected graph. Both general and symmetric
-// symmetries are accepted; values on data lines beyond the two indices
-// are ignored.
+// (1-indexed) as an undirected graph under DefaultLimits. Both general
+// and symmetric symmetries are accepted; values on data lines beyond
+// the two indices are ignored.
 func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
+	return ReadMatrixMarketLimits(r, DefaultLimits)
+}
+
+// ReadMatrixMarketLimits is ReadMatrixMarket under explicit limits.
+func ReadMatrixMarketLimits(r io.Reader, lim ParseLimits) (*graph.Graph, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
@@ -99,7 +164,9 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 	// Skip comments, read size line.
 	var rows, cols int
 	var nnz int64
+	lineNo := 1
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || line[0] == '%' {
 			continue
@@ -109,12 +176,29 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 		}
 		break
 	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graphio: negative MatrixMarket sizes %d %d %d", rows, cols, nnz)
+	}
 	n := rows
 	if cols > n {
 		n = cols
 	}
-	edges := make([]graph.Edge, 0, nnz)
+	if n > lim.MaxVertices {
+		return nil, fmt.Errorf("graphio: MatrixMarket declares %d vertices, limit %d", n, lim.MaxVertices)
+	}
+	if err := lim.checkEdges(nnz, lineNo); err != nil {
+		return nil, err
+	}
+	// Trust the declared nnz for pre-allocation only up to a modest cap:
+	// the header is attacker-controlled and must not commit memory the
+	// data lines never back.
+	capHint := nnz
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	edges := make([]graph.Edge, 0, capHint)
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || line[0] == '%' {
 			continue
@@ -133,6 +217,12 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 		}
 		if u == 0 || v == 0 {
 			return nil, fmt.Errorf("graphio: MatrixMarket is 1-indexed, got entry %q", line)
+		}
+		if int(u) > n || int(v) > n {
+			return nil, fmt.Errorf("graphio: line %d: entry (%d,%d) outside declared %dx%d matrix", lineNo, u, v, rows, cols)
+		}
+		if err := lim.checkEdges(int64(len(edges))+1, lineNo); err != nil {
+			return nil, err
 		}
 		edges = append(edges, graph.Edge{U: uint32(u - 1), V: uint32(v - 1)})
 	}

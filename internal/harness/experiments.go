@@ -133,7 +133,7 @@ func TableIII(o Options) (string, error) {
 				return "", err
 			}
 			d := kcore.Degeneracy(bg.G)
-			bound := qualityBound(a.Name, bg.G, d, o.Epsilon)
+			bound := QualityBound(a.Name, bg.G, d, o.Epsilon)
 			ok := "yes"
 			if res.NumColors > bound {
 				ok = "VIOLATED"
@@ -144,7 +144,13 @@ func TableIII(o Options) (string, error) {
 	return "Table III stand-in: measured algorithm matrix\n" + t.String(), nil
 }
 
-func qualityBound(name string, g *graph.Graph, d int, eps float64) int {
+// QualityBound returns the provable color-count guarantee of the named
+// algorithm on a graph with degeneracy d (Table III): d+1 for SL,
+// 2(1+ε)d+1 for JP-ADG, 4d+1 for JP-ADG-M, the DEC composites'
+// bounds, and the trivial Δ+1 for everything else. Exported so the
+// cross-cutting property suite (internal/proptest) asserts the same
+// bounds the experiment tables report.
+func QualityBound(name string, g *graph.Graph, d int, eps float64) int {
 	switch name {
 	case "JP-SL":
 		return d + 1
@@ -440,6 +446,7 @@ func Experiments() map[string]func(Options) (string, error) {
 		"fig4":       Figure4Memory,
 		"fig5":       Figure5Profile,
 		"ablation":   Ablation,
+		"dynamic":    DynamicRepair,
 	}
 }
 

@@ -1,0 +1,69 @@
+package proptest
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestAlgorithmFamilyProperties is the full cross product: every
+// registered algorithm × every graph family, checked for properness,
+// p ∈ {1,2,8} seed-determinism (where guaranteed) and the Table III
+// quality bounds.
+func TestAlgorithmFamilyProperties(t *testing.T) {
+	fams, err := Families()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.01
+	for _, a := range harness.Registry() {
+		for _, fam := range fams {
+			a, fam := a, fam
+			t.Run(a.Name+"/"+fam.Name, func(t *testing.T) {
+				t.Parallel()
+				for _, v := range CheckAlgorithm(a, fam, 7, eps) {
+					t.Error(string(v))
+				}
+			})
+		}
+	}
+}
+
+// TestFamiliesCoverTheSpectrum pins the family set itself: the suite
+// must include a scale-free, a uniform-random, a constant-degeneracy
+// planar-ish and a bipartite instance, all structurally valid.
+func TestFamiliesCoverTheSpectrum(t *testing.T) {
+	fams, err := Families()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"kron": false, "er": false, "grid": false, "bipartite": false}
+	for _, f := range fams {
+		if err := f.G.Validate(); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+		if f.Degeneracy < 1 {
+			t.Errorf("%s: degeneracy %d", f.Name, f.Degeneracy)
+		}
+		want[f.Name] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("family %s missing", name)
+		}
+	}
+	// Structural spot checks: the grid has degeneracy 2, K_{10,30} has
+	// degeneracy min(10,30) = 10 and chromatic number 2.
+	for _, f := range fams {
+		switch f.Name {
+		case "grid":
+			if f.Degeneracy != 2 {
+				t.Errorf("grid degeneracy %d, want 2", f.Degeneracy)
+			}
+		case "bipartite":
+			if f.Degeneracy != 10 {
+				t.Errorf("bipartite degeneracy %d, want 10", f.Degeneracy)
+			}
+		}
+	}
+}

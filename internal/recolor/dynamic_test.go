@@ -1,0 +1,102 @@
+package recolor
+
+import (
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+	"repro/internal/xrand"
+)
+
+// TestIteratedGreedyAfterIncrementalRepair covers the dynamic path:
+// the coloring maintained across mutation batches by internal/dynamic
+// is a valid input to iterated greedy, and a quality pass stacked on
+// top of incremental repair never increases the color count — the same
+// composition guarantee the static pipeline has.
+func TestIteratedGreedyAfterIncrementalRepair(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(400, 2400, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dynamic.NewColored(g, dynamic.Options{Procs: 2, Seed: 3})
+	rng := xrand.New(777)
+
+	for round := 0; round < 8; round++ {
+		var b dynamic.Batch
+		for i := 0; i < 24; i++ {
+			u := uint32(rng.Intn(400))
+			v := uint32(rng.Intn(400))
+			if rng.Intn(4) == 0 {
+				b.DelEdges = append(b.DelEdges, graph.Edge{U: u, V: v})
+			} else {
+				b.AddEdges = append(b.AddEdges, graph.Edge{U: u, V: v})
+			}
+		}
+		if _, err := c.Apply(b); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+
+		snap, err := c.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		repaired := c.Colors()
+		before := verify.NumColors(repaired)
+		for _, strat := range []Strategy{ReverseOrder, LargestFirstOrder, RandomOrder} {
+			res, err := IteratedGreedy(snap, repaired, strat, 4, uint64(round))
+			if err != nil {
+				t.Fatalf("round %d strategy %d: %v", round, strat, err)
+			}
+			if res.NumColors > before {
+				t.Fatalf("round %d strategy %d: iterated greedy increased colors %d -> %d",
+					round, strat, before, res.NumColors)
+			}
+			if err := verify.CheckProper(snap, res.Colors); err != nil {
+				t.Fatalf("round %d strategy %d: %v", round, strat, err)
+			}
+		}
+	}
+	if c.Repairs() == 0 {
+		t.Fatal("mutation rounds never exercised the incremental repair path")
+	}
+}
+
+// TestIteratedGreedyAfterFallbackRecolor does the same through the
+// full-recolor fallback path.
+func TestIteratedGreedyAfterFallbackRecolor(t *testing.T) {
+	g, err := gen.Kronecker(8, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny threshold forces every conflicting batch to full recolor.
+	c := dynamic.NewColored(g, dynamic.Options{Procs: 2, Seed: 3, FallbackFraction: 1e-9})
+	rng := xrand.New(101)
+	n := g.NumVertices()
+	for c.FullRecolors() == 0 {
+		var b dynamic.Batch
+		for i := 0; i < 32; i++ {
+			b.AddEdges = append(b.AddEdges, graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+		}
+		if _, err := c.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := c.Colors()
+	before := verify.NumColors(cols)
+	res, err := IteratedGreedy(snap, cols, ReverseOrder, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors > before {
+		t.Fatalf("iterated greedy increased colors %d -> %d after fallback recolor", before, res.NumColors)
+	}
+	if err := verify.CheckProper(snap, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,12 +9,19 @@ import (
 // of algorithms whose harness registration carries Deterministic=true:
 // for those, a fixed seed makes the output independent of the worker
 // count and of scheduling (the paper's determinism guarantee), so
-// (graph, algorithm, seed, epsilon) fully determines the coloring —
-// Procs is deliberately NOT part of the key: a result computed at p=8
-// serves a p=2 request byte-for-byte. The non-deterministic schemes
-// (JP-ASL, ITR, ITRB, GM) bypass the cache entirely (see Manager.Color).
+// (graph, version, algorithm, seed, epsilon) fully determines the
+// coloring — Procs is deliberately NOT part of the key: a result
+// computed at p=8 serves a p=2 request byte-for-byte. The
+// non-deterministic schemes (JP-ASL, ITR, ITRB, GM) bypass the cache
+// entirely (see Manager.Color).
+//
+// Version is the graph's mutation version: every applied mutation
+// batch bumps it, so a coloring cached before a mutation can never be
+// returned for a request that sees the mutated graph. Never-mutated
+// graphs stay at version 0.
 type Key struct {
 	Graph     string
+	Version   uint64
 	Algorithm string
 	Seed      uint64
 	Epsilon   float64
@@ -113,6 +120,29 @@ func (c *Cache) Put(k Key, e *Entry) {
 		delete(c.items, back.Value.(*cacheNode).key)
 		c.evictions++
 	}
+}
+
+// DeleteGraph drops every entry cached for the named graph (any
+// version, algorithm, seed or epsilon) and returns how many were
+// removed. Mutations call it: the version key already guarantees
+// stale entries cannot be served, so this is purely a memory release —
+// colorings of overwritten versions would otherwise linger until LRU
+// eviction.
+func (c *Cache) DeleteGraph(graph string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		node := el.Value.(*cacheNode)
+		if node.key.Graph == graph {
+			c.ll.Remove(el)
+			delete(c.items, node.key)
+			removed++
+		}
+		el = next
+	}
+	return removed
 }
 
 // Stats snapshots the counters.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/harness"
 )
 
@@ -48,12 +49,17 @@ type ColorRequest struct {
 
 // ColorResponse reports one coloring job.
 type ColorResponse struct {
-	Graph     string  `json:"graph"`
-	Algorithm string  `json:"algorithm"`
-	Seed      uint64  `json:"seed"`
-	Epsilon   float64 `json:"epsilon"`
-	NumColors int     `json:"numColors"`
-	Rounds    int     `json:"rounds"`
+	Graph string `json:"graph"`
+	// GraphVersion is the mutation version of the graph this coloring
+	// was computed against (0 for never-mutated graphs). Clients that
+	// replay their own mutation log (cmd/colorload) use it to pick the
+	// replica to verify against.
+	GraphVersion uint64  `json:"graphVersion"`
+	Algorithm    string  `json:"algorithm"`
+	Seed         uint64  `json:"seed"`
+	Epsilon      float64 `json:"epsilon"`
+	NumColors    int     `json:"numColors"`
+	Rounds       int     `json:"rounds"`
 	// Colors is present only when the request set includeColors.
 	Colors []uint32 `json:"colors,omitempty"`
 	// Verified is always true on a 200: every run goes through
@@ -132,6 +138,23 @@ func NewManager(reg *Registry, cfg ManagerConfig) *Manager {
 // Cache exposes the result cache (for /metrics).
 func (m *Manager) Cache() *Cache { return m.cache }
 
+// acquireSlot takes one inflight slot, staying cancellable while
+// queued. Mutations share the same budget as coloring runs — a repair
+// (worst case the lazy initial coloring or a fallback full recolor) is
+// pool-bound compute like any /v1/color job, and must not be able to
+// oversubscribe the machine just by arriving on a different endpoint.
+func (m *Manager) acquireSlot(ctx context.Context) error {
+	select {
+	case m.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		m.cancelled.Add(1)
+		return fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
+	}
+}
+
+func (m *Manager) releaseSlot() { <-m.sem }
+
 // Stats snapshots the job counters.
 func (m *Manager) Stats() ManagerStats {
 	return ManagerStats{
@@ -155,6 +178,15 @@ func (m *Manager) Stats() ManagerStats {
 // never wedges it.
 func (m *Manager) Color(ctx context.Context, req ColorRequest) (*ColorResponse, error) {
 	entry, err := m.reg.Get(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	// Pin the (snapshot, version) pair once, before cache lookup and
+	// single-flight: the whole request is then served against this one
+	// immutable graph, and the versioned cache key guarantees a
+	// concurrent mutation can never leak a stale coloring into a
+	// request that reads the newer version.
+	g, version, err := entry.View()
 	if err != nil {
 		return nil, err
 	}
@@ -197,10 +229,11 @@ func (m *Manager) Color(ctx context.Context, req ColorRequest) (*ColorResponse, 
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	key := Key{Graph: req.Graph, Algorithm: algo.Name, Seed: req.Seed, Epsilon: eps}
+	key := Key{Graph: req.Graph, Version: version, Algorithm: algo.Name, Seed: req.Seed, Epsilon: eps}
 	resp := func(e *Entry, cached, coalesced bool) *ColorResponse {
 		r := &ColorResponse{
 			Graph:          req.Graph,
+			GraphVersion:   version,
 			Algorithm:      algo.Name,
 			Seed:           req.Seed,
 			Epsilon:        eps,
@@ -257,7 +290,7 @@ func (m *Manager) Color(ctx context.Context, req ColorRequest) (*ColorResponse, 
 			continue
 		}
 
-		e, err := m.lead(ctx, algo, entry, eps, req, key, f)
+		e, err := m.lead(ctx, algo, g, eps, req, key, f)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +301,7 @@ func (m *Manager) Color(ctx context.Context, req ColorRequest) (*ColorResponse, 
 // lead runs the computation as the single-flight leader: acquire a slot
 // (the caller already armed the request deadline on ctx), run checked,
 // publish to cache and followers.
-func (m *Manager) lead(ctx context.Context, algo harness.Algorithm, ge *GraphEntry, eps float64, req ColorRequest, key Key, f *flight) (*Entry, error) {
+func (m *Manager) lead(ctx context.Context, algo harness.Algorithm, g *graph.Graph, eps float64, req ColorRequest, key Key, f *flight) (*Entry, error) {
 	finished := false
 	finish := func(e *Entry, err error) {
 		if f == nil || finished {
@@ -304,7 +337,7 @@ func (m *Manager) lead(ctx context.Context, algo harness.Algorithm, ge *GraphEnt
 	defer func() { <-m.sem }()
 
 	start := time.Now()
-	res, err := harness.RunChecked(algo, ge.G, harness.Config{
+	res, err := harness.RunChecked(algo, g, harness.Config{
 		Procs:   req.Procs,
 		Seed:    req.Seed,
 		Epsilon: eps,

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+// maxMutateBodyBytes bounds a mutate POST body; maxMutateVertices and
+// maxMutateEdges bound the graph a sequence of batches can grow to, so
+// mutations cannot be used to build an OOM bomb incrementally past the
+// generator-spec caps.
+const (
+	maxMutateBodyBytes = 8 << 20
+	maxMutateVertices  = 1 << 24
+	maxMutateEdges     = maxSpecEdges
+)
+
+// mutateOptions are the fixed parameters of every maintained dynamic
+// coloring: deterministic (seed-fixed) so that mutate responses are a
+// pure function of the batch history, ε at the paper's evaluation
+// default, and fallback at a quarter of the graph.
+var mutateOptions = dynamic.Options{Seed: 1, Epsilon: 0.01, FallbackFraction: 0.25}
+
+// MutateRequest is the POST /v1/graphs/{id}/mutate body: one atomic
+// batch of mutations. Edges are [u, v] pairs; application order inside
+// the batch is addVertices, delVertices, delEdges, addEdges (see
+// dynamic.Batch).
+type MutateRequest struct {
+	AddVertices int         `json:"addVertices"`
+	DelVertices []uint32    `json:"delVertices"`
+	AddEdges    [][2]uint32 `json:"addEdges"`
+	DelEdges    [][2]uint32 `json:"delEdges"`
+	// IncludeColors asks for the maintained coloring after repair.
+	IncludeColors bool `json:"includeColors"`
+}
+
+// MutateResponse reports one applied batch and its incremental repair.
+type MutateResponse struct {
+	Graph string `json:"graph"`
+	// Version is the graph version after the batch. Every /v1/color
+	// response carries the version it was computed against, and the
+	// result cache keys on it, so a mutation can never be answered
+	// with a stale coloring.
+	Version uint64 `json:"version"`
+	N       int    `json:"n"`
+	M       int64  `json:"m"`
+	// What the batch materialized (no-ops excluded).
+	AddedEdges   int `json:"addedEdges"`
+	RemovedEdges int `json:"removedEdges"`
+	NewVertices  int `json:"newVertices"`
+	// Conflict frontier and repair outcome.
+	ConflictEdges    int     `json:"conflictEdges"`
+	DirtyVertices    int     `json:"dirtyVertices"`
+	RepairedVertices int     `json:"repairedVertices"`
+	Rounds           int     `json:"rounds"`
+	Fallback         bool    `json:"fallback"`
+	NumColors        int     `json:"numColors"`
+	RepairSeconds    float64 `json:"repairSeconds"`
+	// Colors is the maintained coloring (present when includeColors).
+	Colors []uint32 `json:"colors,omitempty"`
+}
+
+// MutateOutcome bundles what one applied batch produced: the repair
+// result, the graph shape at the result's version (captured under the
+// entry lock — the overlay itself must never be read unlocked), the
+// repair wall time and, when asked, a copy of the maintained coloring.
+type MutateOutcome struct {
+	Res           *dynamic.Result
+	N             int
+	M             int64
+	RepairSeconds float64
+	Colors        []uint32
+}
+
+// Mutate applies one batch to the entry under its lock, lazily creating
+// the maintained dynamic coloring on first use.
+func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool) (*MutateOutcome, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn == nil {
+		e.dyn = dynamic.NewColored(e.G, mutateOptions)
+	}
+	if int64(e.dyn.Overlay().NumVertices())+int64(b.AddVertices) > maxMutateVertices {
+		return nil, fmt.Errorf("%w: mutation would exceed %d vertices", ErrBadRequest, maxMutateVertices)
+	}
+	if e.dyn.Overlay().NumEdges()+int64(len(b.AddEdges)) > maxMutateEdges {
+		return nil, fmt.Errorf("%w: mutation would exceed %d edges", ErrBadRequest, maxMutateEdges)
+	}
+	start := time.Now()
+	res, err := e.dyn.Apply(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	out := &MutateOutcome{
+		Res:           res,
+		N:             e.dyn.Overlay().NumVertices(),
+		M:             e.dyn.Overlay().NumEdges(),
+		RepairSeconds: time.Since(start).Seconds(),
+	}
+	if includeColors {
+		out.Colors = e.dyn.Colors()
+	}
+	return out, nil
+}
+
+// handleGraphSub routes /v1/graphs/{id} (GET info) and
+// /v1/graphs/{id}/mutate (POST batch).
+func (s *Server) handleGraphSub(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/graphs/")
+	parts := strings.Split(rest, "/")
+	switch {
+	case len(parts) == 1 && parts[0] != "":
+		if r.Method != http.MethodGet {
+			writeError(w, fmt.Errorf("%w: %s on /v1/graphs/{id} (want GET)", ErrMethodNotAllowed, r.Method))
+			return
+		}
+		e, err := s.reg.Get(parts[0])
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, infoOf(e))
+	case len(parts) == 2 && parts[1] == "mutate":
+		s.handleMutate(w, r, parts[0])
+	default:
+		writeError(w, fmt.Errorf("%w: unknown path %q", ErrNotFound, r.URL.Path))
+	}
+}
+
+// handleMutate serves POST /v1/graphs/{id}/mutate: apply one batch,
+// repair the maintained coloring, and invalidate every cached coloring
+// of the graph (the version bump already makes them unservable; the
+// purge just frees the memory early).
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s on /v1/graphs/{id}/mutate (want POST)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	s.mutateRequests.Add(1)
+	fail := func(err error) {
+		s.mutateErrors.Add(1)
+		writeError(w, err)
+	}
+	entry, err := s.reg.Get(name)
+	if err != nil {
+		fail(err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxMutateBodyBytes+1))
+	if err != nil {
+		fail(fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
+		return
+	}
+	if len(body) > maxMutateBodyBytes {
+		fail(fmt.Errorf("%w: body exceeds %d bytes", ErrBadRequest, maxMutateBodyBytes))
+		return
+	}
+	var req MutateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		fail(fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
+		return
+	}
+	batch := dynamic.Batch{
+		AddVertices: req.AddVertices,
+		DelVertices: req.DelVertices,
+		DelEdges:    pairsToEdges(req.DelEdges),
+		AddEdges:    pairsToEdges(req.AddEdges),
+	}
+	// The repair runs inside the manager's inflight budget, like any
+	// coloring job. The dynamic repair has no preemption points yet, so
+	// (as with ITR/GM colorings) a cancelled request frees its slot only
+	// when the batch completes — but it stays cancellable while queued.
+	if err := s.mgr.acquireSlot(r.Context()); err != nil {
+		fail(err)
+		return
+	}
+	defer s.mgr.releaseSlot()
+	out, err := entry.Mutate(batch, req.IncludeColors)
+	if err != nil {
+		fail(err)
+		return
+	}
+	res := out.Res
+	// Purge cached colorings of prior versions — only when the batch
+	// materialized something: a no-op batch keeps the version, so the
+	// cached colorings of the current version are still valid.
+	if res.AddedEdges > 0 || res.RemovedEdges > 0 || res.NewVertices > 0 {
+		s.cacheInvalidations.Add(int64(s.mgr.Cache().DeleteGraph(name)))
+	}
+	if res.Fallback {
+		s.mutateFallbacks.Add(1)
+	}
+	writeJSONCompact(w, http.StatusOK, MutateResponse{
+		Graph:            name,
+		Version:          res.Version,
+		N:                out.N,
+		M:                out.M,
+		AddedEdges:       res.AddedEdges,
+		RemovedEdges:     res.RemovedEdges,
+		NewVertices:      res.NewVertices,
+		ConflictEdges:    res.ConflictEdges,
+		DirtyVertices:    len(res.Dirty),
+		RepairedVertices: res.Repaired,
+		Rounds:           res.Rounds,
+		Fallback:         res.Fallback,
+		NumColors:        res.NumColors,
+		RepairSeconds:    out.RepairSeconds,
+		Colors:           out.Colors,
+	})
+}
+
+func pairsToEdges(pairs [][2]uint32) []graph.Edge {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = graph.Edge{U: p[0], V: p[1]}
+	}
+	return out
+}

@@ -25,24 +25,39 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
 
-// GraphEntry is one registered graph. The CSR is immutable after
+// GraphEntry is one registered graph. The base CSR is immutable after
 // registration: concurrent coloring requests share it without copies.
+// Mutation batches (POST /v1/graphs/{id}/mutate) layer a dynamic
+// overlay on top; coloring requests then run against an immutable
+// per-version snapshot, so the sharing story is unchanged — only the
+// (graph, version) pair a request sees advances.
 type GraphEntry struct {
 	// Name is the registry key.
 	Name string
 	// Spec records how the graph was built: a generator spec ("kron:12")
 	// or "upload:<format>" for uploaded payloads. Spec-built graphs are
 	// reproducible anywhere from the spec string alone, which is what
-	// lets cmd/colorload verify returned colorings client-side.
+	// lets cmd/colorload verify returned colorings client-side (replaying
+	// its mutation log on top for mutated graphs).
 	Spec string
-	// G is the shared immutable CSR.
+	// G is the base CSR as registered (immutable, version 0).
 	G *graph.Graph
-	// Stats caches the structural summary computed at registration.
-	Stats graph.Stats
+
+	// mu serializes mutations and guards the fields below. Coloring
+	// requests only hold it long enough to grab the current snapshot.
+	mu sync.Mutex
+	// dyn is the mutable overlay + maintained coloring, nil until the
+	// first mutation (the common static case pays nothing).
+	dyn *dynamic.Colored
+	// stats is the structural summary of statsVer; recomputed lazily
+	// when the version moved.
+	stats    graph.Stats
+	statsVer uint64
 }
 
 // Registry holds named graphs loaded once and shared by every request.
@@ -71,9 +86,59 @@ func (r *Registry) Add(name, spec string, g *graph.Graph) (*GraphEntry, error) {
 	if old, err := r.checkExistingLocked(name, spec); err != nil || old != nil {
 		return old, err
 	}
-	e := &GraphEntry{Name: name, Spec: spec, G: g, Stats: stats}
+	e := &GraphEntry{Name: name, Spec: spec, G: g, stats: stats}
 	r.graphs[name] = e
 	return e, nil
+}
+
+// Stats returns the structural summary of the entry's current version,
+// recomputing it lazily after mutations.
+func (e *GraphEntry) Stats() graph.Stats {
+	st, _ := e.StatsVersion()
+	return st
+}
+
+// StatsVersion returns the structural summary together with the
+// version it describes, as one consistent pair (a single critical
+// section — pairing separate Stats() and Version() calls would let a
+// concurrent mutation slip between them and mismatch shape and
+// version). On a snapshot failure the previous consistent pair is
+// returned rather than a mixed one.
+func (e *GraphEntry) StatsVersion() (graph.Stats, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn != nil && e.statsVer != e.dyn.Version() {
+		g, err := e.dyn.Snapshot()
+		if err == nil {
+			e.stats = graph.ComputeStats(g)
+			e.statsVer = e.dyn.Version()
+		}
+	}
+	return e.stats, e.statsVer
+}
+
+// View returns the immutable graph snapshot coloring requests should
+// run against, together with its version. For a never-mutated entry
+// this is the base CSR at version 0 and costs nothing; after mutations
+// it is the overlay's memoized per-version snapshot.
+func (e *GraphEntry) View() (*graph.Graph, uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn == nil {
+		return e.G, 0, nil
+	}
+	g, err := e.dyn.Snapshot()
+	return g, e.dyn.Version(), err
+}
+
+// Version returns the entry's current mutation version.
+func (e *GraphEntry) Version() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn == nil {
+		return 0
+	}
+	return e.dyn.Version()
 }
 
 // CheckExisting resolves name against the registry without building

@@ -23,6 +23,13 @@ const (
 	maxColorBodyBytes = 1 << 20
 )
 
+// uploadLimits bounds what an uploaded payload may parse into. Tighter
+// than graphio.DefaultLimits: a tiny body can declare a huge vertex
+// space (the CSR costs memory per vertex, not per input byte), so an
+// untrusted upload gets the same order of ceiling as the generator
+// specs (2^24 vertices ≈ 128 MB of offsets, maxSpecEdges edges).
+var uploadLimits = graphio.ParseLimits{MaxVertices: 1 << 24, MaxEdges: maxSpecEdges}
+
 // Server wires the registry, cache and job manager behind the HTTP JSON
 // API. Create with NewServer, mount via Handler.
 type Server struct {
@@ -31,10 +38,14 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	requests      atomic.Int64 // every API request
-	graphUploads  atomic.Int64
-	colorRequests atomic.Int64
-	colorErrors   atomic.Int64
+	requests           atomic.Int64 // every API request
+	graphUploads       atomic.Int64
+	colorRequests      atomic.Int64
+	colorErrors        atomic.Int64
+	mutateRequests     atomic.Int64
+	mutateErrors       atomic.Int64
+	mutateFallbacks    atomic.Int64
+	cacheInvalidations atomic.Int64
 }
 
 // NewServer builds a Server with a fresh registry and manager.
@@ -47,6 +58,7 @@ func NewServer(cfg ManagerConfig) *Server {
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/v1/graphs/", s.handleGraphSub)
 	s.mux.HandleFunc("/v1/color", s.handleColor)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -128,6 +140,7 @@ type graphUploadRequest struct {
 type graphInfo struct {
 	Name    string  `json:"name"`
 	Spec    string  `json:"spec"`
+	Version uint64  `json:"version"`
 	N       int     `json:"n"`
 	M       int64   `json:"m"`
 	MaxDeg  int     `json:"maxDeg"`
@@ -137,15 +150,17 @@ type graphInfo struct {
 }
 
 func infoOf(e *GraphEntry) graphInfo {
+	st, ver := e.StatsVersion()
 	return graphInfo{
 		Name:    e.Name,
 		Spec:    e.Spec,
-		N:       e.Stats.N,
-		M:       e.Stats.M,
-		MaxDeg:  e.Stats.MaxDeg,
-		AvgDeg:  e.Stats.AvgDeg,
-		MinDeg:  e.Stats.MinDeg,
-		Isolate: e.Stats.Isolated,
+		Version: ver,
+		N:       st.N,
+		M:       st.M,
+		MaxDeg:  st.MaxDeg,
+		AvgDeg:  st.AvgDeg,
+		MinDeg:  st.MinDeg,
+		Isolate: st.Isolated,
 	}
 }
 
@@ -213,19 +228,19 @@ func (s *Server) registerGraph(req graphUploadRequest) (*GraphEntry, error) {
 		rd := strings.NewReader(req.Data)
 		switch req.Format {
 		case "edgelist":
-			g, err := graphio.ReadEdgeList(rd)
+			g, err := graphio.ReadEdgeListLimits(rd, uploadLimits)
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
 			return s.reg.Add(req.Name, "upload:edgelist", g)
 		case "dimacs":
-			g, err := graphio.ReadDIMACSColor(rd)
+			g, err := graphio.ReadDIMACSColorLimits(rd, uploadLimits)
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
 			return s.reg.Add(req.Name, "upload:dimacs", g)
 		case "mm":
-			g, err := graphio.ReadMatrixMarket(rd)
+			g, err := graphio.ReadMatrixMarketLimits(rd, uploadLimits)
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
@@ -285,20 +300,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // (the PR-1 instrumentation, now visible per process instead of per
 // benchmark run).
 type Metrics struct {
-	UptimeSeconds  float64       `json:"uptimeSeconds"`
-	Requests       int64         `json:"requests"`
-	GraphUploads   int64         `json:"graphUploads"`
-	ColorRequests  int64         `json:"colorRequests"`
-	ColorErrors    int64         `json:"colorErrors"`
-	Graphs         int           `json:"graphs"`
-	Algorithms     []string      `json:"algorithms"`
-	Cache          CacheStats    `json:"cache"`
-	CacheHitRate   float64       `json:"cacheHitRate"`
-	Jobs           ManagerStats  `json:"jobs"`
-	Pool           par.PoolStats `json:"pool"`
-	PoolWorkers    int           `json:"poolWorkers"`
-	GoMaxProcs     int           `json:"goMaxProcs"`
-	SchemaVersions struct {
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	Requests       int64   `json:"requests"`
+	GraphUploads   int64   `json:"graphUploads"`
+	ColorRequests  int64   `json:"colorRequests"`
+	ColorErrors    int64   `json:"colorErrors"`
+	MutateRequests int64   `json:"mutateRequests"`
+	MutateErrors   int64   `json:"mutateErrors"`
+	// MutateFallbacks counts batches whose dirty region exceeded the
+	// threshold and triggered a full recolor instead of the localized
+	// repair; CacheInvalidations counts cached colorings purged by
+	// mutations.
+	MutateFallbacks    int64         `json:"mutateFallbacks"`
+	CacheInvalidations int64         `json:"cacheInvalidations"`
+	Graphs             int           `json:"graphs"`
+	Algorithms         []string      `json:"algorithms"`
+	Cache              CacheStats    `json:"cache"`
+	CacheHitRate       float64       `json:"cacheHitRate"`
+	Jobs               ManagerStats  `json:"jobs"`
+	Pool               par.PoolStats `json:"pool"`
+	PoolWorkers        int           `json:"poolWorkers"`
+	GoMaxProcs         int           `json:"goMaxProcs"`
+	SchemaVersions     struct {
 		AlgoRecord int `json:"algoRecord"`
 	} `json:"schemaVersions"`
 }
@@ -307,19 +330,23 @@ type Metrics struct {
 func (s *Server) SnapshotMetrics() Metrics {
 	cs := s.mgr.Cache().Stats()
 	m := Metrics{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		GraphUploads:  s.graphUploads.Load(),
-		ColorRequests: s.colorRequests.Load(),
-		ColorErrors:   s.colorErrors.Load(),
-		Graphs:        s.reg.Len(),
-		Algorithms:    harness.Names(),
-		Cache:         cs,
-		CacheHitRate:  cs.HitRate(),
-		Jobs:          s.mgr.Stats(),
-		Pool:          par.DefaultPoolStats(),
-		PoolWorkers:   par.Default().Procs(),
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Requests:           s.requests.Load(),
+		GraphUploads:       s.graphUploads.Load(),
+		ColorRequests:      s.colorRequests.Load(),
+		ColorErrors:        s.colorErrors.Load(),
+		MutateRequests:     s.mutateRequests.Load(),
+		MutateErrors:       s.mutateErrors.Load(),
+		MutateFallbacks:    s.mutateFallbacks.Load(),
+		CacheInvalidations: s.cacheInvalidations.Load(),
+		Graphs:             s.reg.Len(),
+		Algorithms:         harness.Names(),
+		Cache:              cs,
+		CacheHitRate:       cs.HitRate(),
+		Jobs:               s.mgr.Stats(),
+		Pool:               par.DefaultPoolStats(),
+		PoolWorkers:        par.Default().Procs(),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
 	}
 	m.SchemaVersions.AlgoRecord = harness.AlgoRecordSchemaVersion
 	return m

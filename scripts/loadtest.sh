@@ -11,6 +11,9 @@ CLIENTS="${LOAD_CLIENTS:-8}"
 REQUESTS="${LOAD_REQUESTS:-200}"
 INFLIGHT="${COLORD_INFLIGHT:-8}"
 SPEC="${LOAD_SPEC:-kron:12}"
+# >= 20% of requests mutate the graph; every returned coloring is still
+# verified client-side against the replayed mutation log (E10/E11).
+MUTATE="${LOAD_MUTATE:-0.2}"
 
 mkdir -p bin
 go build -o bin/colord ./cmd/colord
@@ -35,4 +38,4 @@ if [ -z "$up" ]; then
 fi
 
 bin/colorload -addr "http://$ADDR" -graph loadtest -spec "$SPEC" \
-    -c "$CLIENTS" -n "$REQUESTS" -verify
+    -c "$CLIENTS" -n "$REQUESTS" -verify -mutate-frac "$MUTATE"
