@@ -3,7 +3,7 @@
 # in .github/workflows/ci.yml (TestMakefileMatchesWorkflow enforces it),
 # so local `make ci` and the workflow can never drift.
 
-.PHONY: ci fmt vet build test race bench json loadtest fuzz-smoke cover
+.PHONY: ci fmt vet build test race bench json loadtest crashtest fuzz-smoke cover
 
 ci: fmt vet build test race
 
@@ -37,17 +37,27 @@ json:
 loadtest:
 	./scripts/loadtest.sh
 
-# fuzz-smoke gives each graphio fuzz target a short budget (the CI
-# gate; seed corpora live in internal/graphio/testdata/fuzz). Raise
-# FUZZTIME locally for a real hunt.
+# crashtest is the durability gate: colord killed with -9 mid mixed
+# color/mutate run, restarted against the same --data-dir, and
+# colorload -resume verifies version continuity and every post-restart
+# coloring against its replayed mutation journal; ends with a graceful
+# SIGTERM (drain + WAL flush) and a reboot from the compacted snapshot.
+crashtest:
+	./scripts/crashtest.sh
+
+# fuzz-smoke gives each fuzz target a short budget (the CI gate; seed
+# corpora live in internal/graphio/testdata/fuzz and
+# internal/store/testdata/fuzz). Raise FUZZTIME locally for a real hunt.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	go test ./internal/graphio -run '^$$' -fuzz 'FuzzParseDIMACS$$' -fuzztime $(FUZZTIME)
 	go test ./internal/graphio -run '^$$' -fuzz 'FuzzParseEdgeList$$' -fuzztime $(FUZZTIME)
 	go test ./internal/graphio -run '^$$' -fuzz 'FuzzParseMatrixMarket$$' -fuzztime $(FUZZTIME)
+	go test ./internal/store -run '^$$' -fuzz 'FuzzSnapshot$$' -fuzztime $(FUZZTIME)
+	go test ./internal/store -run '^$$' -fuzz 'FuzzWAL$$' -fuzztime $(FUZZTIME)
 
 # cover enforces the >= 80% statement-coverage floor on the core
-# packages (graph, jp, order, spec, verify, dynamic) and leaves the
-# merged profile in coverage.out (uploaded as a CI artifact).
+# packages (graph, jp, order, spec, verify, dynamic, store) and leaves
+# the merged profile in coverage.out (uploaded as a CI artifact).
 cover:
 	./scripts/coverage.sh

@@ -29,9 +29,29 @@
 //
 // The target graph is registered first (idempotent): a run needs
 // nothing but a listening colord.
+//
+// # Restart survival
+//
+// With -mutation-log the mutator journals every batch it sends — an
+// intent line before the POST, an ack (with the server-reported
+// version) or err line after — and -resume replays that journal
+// instead of requiring a fresh graph: the local overlay is rebuilt to
+// the exact version the journal reached, trailing unacknowledged
+// intents are reconciled against the server's recovered version (a
+// batch the server applied and WAL'd just before dying is adopted; one
+// it never applied is dropped — at most one can be in flight), and the
+// run then REQUIRES the server to sit at the replayed version. This is
+// the client half of the crash-recovery contract (scripts/
+// crashtest.sh): after a kill -9 and a -data-dir restart, version
+// continuity is asserted end to end and every post-restart coloring is
+// verified against the replayed graph — a single stale serving fails
+// the run. -tolerate-request-errors lets the pre-kill run exit 0 when
+// its only failures are transport errors from the dying server;
+// verification failures still fail it.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -114,10 +134,38 @@ type mutator struct {
 	snaps map[uint64]*graph.Graph
 	rng   *xrand.RNG
 	batch int
+	// logF, when set, journals every sent batch (intent, then ack or
+	// err) so a later -resume run can rebuild this overlay exactly.
+	logF *os.File
 
 	conflicts int64
 	repaired  int64
 	fallbacks int64
+}
+
+// mlogLine is one mutation-journal record: exactly one field is set.
+type mlogLine struct {
+	// Batch is an intent: written before the POST goes out.
+	Batch *service.MutateRequest `json:"batch,omitempty"`
+	// Ack resolves the preceding intent with the server version.
+	Ack *uint64 `json:"ack,omitempty"`
+	// Err resolves the preceding intent as failed — but a transport
+	// error is ambiguous (the server may have applied and logged the
+	// batch before the connection died), so resume reconciles err'd
+	// intents against the server's recovered version.
+	Err bool `json:"err,omitempty"`
+}
+
+func (m *mutator) journal(line mlogLine) error {
+	if m.logF == nil {
+		return nil
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	_, err = m.logF.Write(append(data, '\n'))
+	return err
 }
 
 // replica returns the local graph at the given server-reported version.
@@ -146,12 +194,23 @@ func (m *mutator) mutate(doVerify bool) (time.Duration, string, error) {
 			req.AddEdges = append(req.AddEdges, [2]uint32{u, v})
 		}
 	}
+	// Journal the intent before the POST: if the process or server dies
+	// mid-flight, resume knows this batch may or may not have landed.
+	if err := m.journal(mlogLine{Batch: &req}); err != nil {
+		return 0, "", fmt.Errorf("mutation log: %v", err)
+	}
 	var resp service.MutateResponse
 	t0 := time.Now()
 	_, err := m.cl.postJSON("/v1/graphs/"+m.graph+"/mutate", req, &resp)
 	rtt := time.Since(t0)
 	if err != nil {
+		if jerr := m.journal(mlogLine{Err: true}); jerr != nil {
+			return rtt, "", fmt.Errorf("mutation log: %v", jerr)
+		}
 		return rtt, "", err
+	}
+	if err := m.journal(mlogLine{Ack: &resp.Version}); err != nil {
+		return rtt, "", fmt.Errorf("mutation log: %v", err)
 	}
 	atomic.AddInt64(&m.conflicts, int64(resp.ConflictEdges))
 	atomic.AddInt64(&m.repaired, int64(resp.RepairedVertices))
@@ -194,6 +253,97 @@ func (m *mutator) mutate(doVerify bool) (time.Duration, string, error) {
 	return rtt, "", nil
 }
 
+// replayJournal rebuilds the overlay from a -mutation-log journal.
+// Acked intents are applied and their versions asserted against the
+// journal. Err'd intents are ambiguous — a transport error does not
+// say whether the server applied the batch before dying — so they are
+// held back; a later matching ack proves earlier ones were never
+// applied, and the trailing run of unresolved intents is reconciled
+// against the server's recovered version: the server applied a prefix
+// of them (at most one could ever be in flight past the last ack), so
+// they are adopted in order until the versions meet and the rest are
+// dropped. Returns (ackedReplayed, adopted, dropped).
+func replayJournal(ov *dynamic.Overlay, path string, serverVersion uint64) (int, int, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	apply := func(req *service.MutateRequest) error {
+		b := dynamic.Batch{AddVertices: req.AddVertices, DelVertices: req.DelVertices}
+		for _, e := range req.DelEdges {
+			b.DelEdges = append(b.DelEdges, graph.Edge{U: e[0], V: e[1]})
+		}
+		for _, e := range req.AddEdges {
+			b.AddEdges = append(b.AddEdges, graph.Edge{U: e[0], V: e[1]})
+		}
+		_, err := ov.Apply(b)
+		return err
+	}
+	var pending *service.MutateRequest
+	var maybes []*service.MutateRequest
+	replayed, lineNo := 0, 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec mlogLine
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return replayed, 0, 0, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		switch {
+		case rec.Batch != nil:
+			if pending != nil {
+				return replayed, 0, 0, fmt.Errorf("line %d: intent while the previous one is unresolved", lineNo)
+			}
+			pending = rec.Batch
+		case rec.Ack != nil:
+			if pending == nil {
+				return replayed, 0, 0, fmt.Errorf("line %d: ack without a pending intent", lineNo)
+			}
+			if err := apply(pending); err != nil {
+				return replayed, 0, 0, fmt.Errorf("line %d: replaying acked batch: %v", lineNo, err)
+			}
+			if ov.Version() != *rec.Ack {
+				return replayed, 0, 0, fmt.Errorf("line %d: replay reached version %d but journal acked %d (an err'd batch was silently applied?)",
+					lineNo, ov.Version(), *rec.Ack)
+			}
+			// A matching ack proves every earlier err'd intent was never
+			// applied server-side — the version would have diverged.
+			maybes = maybes[:0]
+			pending = nil
+			replayed++
+		case rec.Err:
+			if pending == nil {
+				return replayed, 0, 0, fmt.Errorf("line %d: err without a pending intent", lineNo)
+			}
+			maybes = append(maybes, pending)
+			pending = nil
+		default:
+			return replayed, 0, 0, fmt.Errorf("line %d: unrecognized journal record", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return replayed, 0, 0, err
+	}
+	if pending != nil {
+		maybes = append(maybes, pending) // the run died mid-flight
+	}
+	adopted := 0
+	for len(maybes) > 0 && ov.Version() < serverVersion {
+		if err := apply(maybes[0]); err != nil {
+			return replayed, adopted, 0, fmt.Errorf("adopting in-flight batch: %v", err)
+		}
+		maybes = maybes[1:]
+		adopted++
+	}
+	return replayed, adopted, len(maybes), nil
+}
+
 // replicaWindow is how many recent per-version replicas the mutator
 // retains. Each replica is a full CSR; without a bound a -n 100000
 // soak run with mutations would accumulate tens of thousands of graph
@@ -214,6 +364,9 @@ func main() {
 		doVer   = flag.Bool("verify", true, "verify every returned coloring against the locally replayed graph")
 		mutFrac = flag.Float64("mutate-frac", 0.2, "fraction of requests that mutate the graph (0 disables)")
 		mutSize = flag.Int("mutate-batch", 8, "edges per mutation batch")
+		mutLog  = flag.String("mutation-log", "", "journal sent mutation batches to this file (enables -resume later)")
+		resume  = flag.Bool("resume", false, "rebuild the local replica by replaying -mutation-log instead of requiring a fresh graph")
+		tolReq  = flag.Bool("tolerate-request-errors", false, "exit 0 when the only failures are transport errors (server killed mid-run); verification failures still fail")
 	)
 	flag.Parse()
 	algoList := strings.Split(*algos, ",")
@@ -254,27 +407,70 @@ func main() {
 		cl.base, *name, *spec, info.N, info.M, info.Version)
 
 	// Local replica for verification and the replayed mutation log.
+	if *resume && *mutLog == "" {
+		fmt.Fprintln(os.Stderr, "colorload: -resume needs -mutation-log")
+		os.Exit(2)
+	}
 	var mut *mutator
 	var local *graph.Graph
-	if *doVer || mutEvery > 0 {
+	if *doVer || mutEvery > 0 || *mutLog != "" {
 		g, err := service.BuildSpec(*spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "colorload: rebuilding %s locally: %v\n", *spec, err)
 			os.Exit(1)
 		}
 		local = g
-		if info.Version != 0 {
-			fmt.Fprintf(os.Stderr, "colorload: graph %s is already at version %d (mutated by a previous run?); restart colord or pick a fresh -graph name\n",
+		ov := dynamic.NewOverlay(g)
+		snaps := map[uint64]*graph.Graph{0: g}
+		if *resume {
+			replayed, adopted, dropped, err := replayJournal(ov, *mutLog, info.Version)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "colorload: resuming from %s: %v\n", *mutLog, err)
+				os.Exit(1)
+			}
+			if ov.Version() != info.Version {
+				fmt.Fprintf(os.Stderr, "colorload: resume: journal replays to version %d but server %s is at version %d (another mutator, or lost WAL batches?)\n",
+					ov.Version(), *name, info.Version)
+				os.Exit(1)
+			}
+			snap, err := ov.Snapshot(0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "colorload: resume: snapshotting replayed graph: %v\n", err)
+				os.Exit(1)
+			}
+			snaps = map[uint64]*graph.Graph{ov.Version(): snap}
+			fmt.Printf("colorload: resumed mutation journal %s: %d acked batches replayed, %d in-flight adopted, %d dropped, version %d confirmed\n",
+				*mutLog, replayed, adopted, dropped, ov.Version())
+		} else if info.Version != 0 {
+			fmt.Fprintf(os.Stderr, "colorload: graph %s is already at version %d (mutated by a previous run?); restart colord, pick a fresh -graph name, or -resume from its -mutation-log\n",
 				*name, info.Version)
 			os.Exit(1)
+		}
+		var logF *os.File
+		if *mutLog != "" {
+			mode := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+			if !*resume {
+				mode = os.O_CREATE | os.O_WRONLY | os.O_TRUNC // fresh run, fresh journal
+			}
+			logF, err = os.OpenFile(*mutLog, mode, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "colorload: opening mutation log: %v\n", err)
+				os.Exit(1)
+			}
+			defer logF.Close()
 		}
 		mut = &mutator{
 			cl:    cl,
 			graph: *name,
-			ov:    dynamic.NewOverlay(g),
-			snaps: map[uint64]*graph.Graph{0: g},
-			rng:   xrand.New(20260729),
+			ov:    ov,
+			snaps: snaps,
+			// Mix the resumed version into the seed: a fresh run draws the
+			// canonical stream, while a -resume run draws batches it has
+			// not sent before (re-sending the identical stream would make
+			// every post-restart batch a no-op).
+			rng:   xrand.New(20260729 + ov.Version()),
 			batch: *mutSize,
+			logF:  logF,
 		}
 	}
 
@@ -425,7 +621,11 @@ func main() {
 		}
 	}
 
-	if reqErrs.Load() > 0 || verErrs.Load() > 0 {
+	if verErrs.Load() > 0 || (reqErrs.Load() > 0 && !*tolReq) {
 		os.Exit(1)
+	}
+	if reqErrs.Load() > 0 {
+		fmt.Printf("colorload: %d transport errors tolerated (-tolerate-request-errors); zero verification failures\n",
+			reqErrs.Load())
 	}
 }

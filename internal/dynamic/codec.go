@@ -1,0 +1,119 @@
+package dynamic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Binary codec for Batch — the payload format of internal/store's
+// write-ahead log. Layout (integers little-endian unless varint):
+//
+//	u8      codec version (1)
+//	uvarint AddVertices
+//	uvarint len(DelVertices), then that many u32 ids
+//	uvarint len(DelEdges),    then that many (u32, u32) pairs
+//	uvarint len(AddEdges),    then that many (u32, u32) pairs
+//
+// Decoding is strict: every count is bounds-checked against the bytes
+// that remain before anything is allocated (a corrupt length must not
+// become an allocation bomb), and trailing garbage is an error — the
+// WAL's record framing already says exactly where a batch ends.
+const batchCodecVersion = 1
+
+// AppendBinary appends the binary encoding of b to buf and returns
+// the extended slice.
+func (b *Batch) AppendBinary(buf []byte) []byte {
+	buf = append(buf, batchCodecVersion)
+	buf = binary.AppendUvarint(buf, uint64(b.AddVertices))
+	buf = binary.AppendUvarint(buf, uint64(len(b.DelVertices)))
+	for _, v := range b.DelVertices {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.DelEdges)))
+	for _, e := range b.DelEdges {
+		buf = binary.LittleEndian.AppendUint32(buf, e.U)
+		buf = binary.LittleEndian.AppendUint32(buf, e.V)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.AddEdges)))
+	for _, e := range b.AddEdges {
+		buf = binary.LittleEndian.AppendUint32(buf, e.U)
+		buf = binary.LittleEndian.AppendUint32(buf, e.V)
+	}
+	return buf
+}
+
+// DecodeBatch decodes a batch previously encoded with AppendBinary,
+// consuming exactly len(data) bytes.
+func DecodeBatch(data []byte) (Batch, error) {
+	var b Batch
+	if len(data) == 0 {
+		return b, fmt.Errorf("dynamic: empty batch encoding")
+	}
+	if data[0] != batchCodecVersion {
+		return b, fmt.Errorf("dynamic: unsupported batch codec version %d", data[0])
+	}
+	rest := data[1:]
+	uvar := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("dynamic: truncated batch varint")
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	addV, err := uvar()
+	if err != nil {
+		return b, err
+	}
+	if addV > uint64(1)<<31 {
+		return b, fmt.Errorf("dynamic: implausible AddVertices %d", addV)
+	}
+	b.AddVertices = int(addV)
+
+	count := func(words uint64) (int, error) {
+		c, err := uvar()
+		if err != nil {
+			return 0, err
+		}
+		// First compare c alone so c*words*4 cannot overflow uint64.
+		if c > uint64(len(rest)) || c*words*4 > uint64(len(rest)) {
+			return 0, fmt.Errorf("dynamic: batch count %d exceeds remaining %d bytes", c, len(rest))
+		}
+		return int(c), nil
+	}
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		return v
+	}
+
+	nDelV, err := count(1)
+	if err != nil {
+		return b, err
+	}
+	if nDelV > 0 {
+		b.DelVertices = make([]uint32, nDelV)
+		for i := range b.DelVertices {
+			b.DelVertices[i] = u32()
+		}
+	}
+	for _, dst := range []*[]graph.Edge{&b.DelEdges, &b.AddEdges} {
+		nE, err := count(2)
+		if err != nil {
+			return b, err
+		}
+		if nE > 0 {
+			edges := make([]graph.Edge, nE)
+			for i := range edges {
+				edges[i] = graph.Edge{U: u32(), V: u32()}
+			}
+			*dst = edges
+		}
+	}
+	if len(rest) != 0 {
+		return b, fmt.Errorf("dynamic: %d trailing bytes after batch", len(rest))
+	}
+	return b, nil
+}

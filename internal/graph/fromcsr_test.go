@@ -1,0 +1,49 @@
+package graph
+
+import "testing"
+
+func TestFromCSRAdoptsValidArrays(t *testing.T) {
+	// Triangle 0-1-2 plus isolated vertex 3.
+	offsets := []int64{0, 2, 4, 6, 6}
+	adj := []uint32{1, 2, 0, 2, 0, 1}
+	g, err := FromCSR(offsets, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-copy: the views are the same arrays.
+	if &g.Offsets()[0] != &offsets[0] || &g.Adjacency()[0] != &adj[0] {
+		t.Fatal("FromCSR copied its arrays")
+	}
+	// Empty graph.
+	if g, err := FromCSR([]int64{0}, nil); err != nil || g.NumVertices() != 0 {
+		t.Fatalf("empty CSR: %v", err)
+	}
+}
+
+func TestFromCSRRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name    string
+		offsets []int64
+		adj     []uint32
+	}{
+		{"no offsets", nil, nil},
+		{"endpoint mismatch", []int64{0, 1}, nil},
+		{"nonzero start", []int64{1, 1}, []uint32{0}},
+		{"non-monotone", []int64{0, 2, 1, 3}, []uint32{1, 2, 0}},
+		{"out of range", []int64{0, 1, 2}, []uint32{5, 0}},
+		{"self loop", []int64{0, 1, 2}, []uint32{0, 0}},
+		{"unsorted row", []int64{0, 2, 3, 4}, []uint32{2, 1, 0, 0}},
+		{"duplicate neighbor", []int64{0, 2, 3, 4}, []uint32{1, 1, 0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := FromCSR(c.offsets, c.adj); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -58,6 +58,14 @@ func (g *Graph) Offsets() []int64 {
 	return g.offsets
 }
 
+// Adjacency returns the concatenated neighbor array (len 2m) as a
+// shared read-only view; callers must not modify it. Together with
+// Offsets it exposes the raw CSR for binary serialization
+// (internal/store's snapshot codec).
+func (g *Graph) Adjacency() []uint32 {
+	return g.adj
+}
+
 // HasEdge reports whether {u, v} is an edge, by binary search in the
 // smaller endpoint's neighbor list.
 func (g *Graph) HasEdge(u, v uint32) bool {
@@ -202,6 +210,47 @@ func FromEdges(n int, edges []Edge, p int) (*Graph, error) {
 	par.For(p, len(arcs), func(i int) {
 		adj[i] = uint32(arcs[i]) // low 32 bits = target; arcs sorted by (src,dst)
 	})
+	return &Graph{offsets: offsets, adj: adj}, nil
+}
+
+// FromCSR adopts offsets and adj as a CSR graph without copying —
+// the zero-copy constructor the mmap snapshot loader builds on, so a
+// multi-GB adjacency can be served straight from the page cache. The
+// slices must stay immutable and outlive the graph.
+//
+// The structural invariants the coloring code indexes by (monotone
+// offsets bracketing adj, in-range neighbor ids, strictly sorted rows,
+// no self-loops) are verified in one sequential pass so corrupt input
+// can never produce a graph that panics downstream. Symmetry
+// (u ∈ N(v) ⇔ v ∈ N(u)) is NOT re-checked here — it costs a binary
+// search per arc; callers with untrusted input should run Validate.
+func FromCSR(offsets []int64, adj []uint32) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR needs a non-empty offsets array")
+	}
+	n := len(offsets) - 1
+	if offsets[0] != 0 || offsets[n] != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: offsets endpoints [%d, %d] do not match adj length %d",
+			offsets[0], offsets[n], len(adj))
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		if lo > hi {
+			return nil, fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		for i := lo; i < hi; i++ {
+			u := adj[i]
+			if int(u) >= n {
+				return nil, fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if u == uint32(v) {
+				return nil, fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if i > lo && adj[i-1] >= u {
+				return nil, fmt.Errorf("graph: neighbors of %d not strictly sorted", v)
+			}
+		}
+	}
 	return &Graph{offsets: offsets, adj: adj}, nil
 }
 

@@ -63,6 +63,11 @@ type MutateResponse struct {
 	Fallback         bool    `json:"fallback"`
 	NumColors        int     `json:"numColors"`
 	RepairSeconds    float64 `json:"repairSeconds"`
+	// Persisted reports whether this batch is durably logged: true when
+	// a data directory is attached and the WAL append fsync'd; false
+	// for memory-only daemons and while persistence is degraded (disk
+	// failure — the daemon keeps serving and self-heals by compaction).
+	Persisted bool `json:"persisted"`
 	// Colors is the maintained coloring (present when includeColors).
 	Colors []uint32 `json:"colors,omitempty"`
 }
@@ -77,16 +82,29 @@ type MutateOutcome struct {
 	M             int64
 	RepairSeconds float64
 	Colors        []uint32
+	// Persisted reports whether this batch is durably logged (true for
+	// a no-op batch under a healthy persist hook — nothing needed
+	// logging; false when the hook is absent or degraded).
+	Persisted bool
 }
 
 // Mutate applies one batch to the entry under its lock, lazily creating
-// the maintained dynamic coloring on first use.
-func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool) (*MutateOutcome, error) {
+// the maintained dynamic coloring on first use. persist, when non-nil,
+// is called under the same lock after a batch that advanced the version
+// — the WAL hook: holding the lock pins WAL record order to mutation
+// order. The hook reports whether the batch is durable (fsync'd) and
+// cannot fail the mutation: on disk trouble it degrades to
+// skip-and-heal (see Server.persistBatch) so the applied batch is
+// always acked, with the outcome's Persisted flag carrying the truth —
+// an error ack for an applied batch would invite client retries that
+// double-apply.
+func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool, persist func(version uint64, b dynamic.Batch) bool) (*MutateOutcome, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.dyn == nil {
 		e.dyn = dynamic.NewColored(e.G, mutateOptions)
 	}
+	versionBefore := e.dyn.Version()
 	if int64(e.dyn.Overlay().NumVertices())+int64(b.AddVertices) > maxMutateVertices {
 		return nil, fmt.Errorf("%w: mutation would exceed %d vertices", ErrBadRequest, maxMutateVertices)
 	}
@@ -98,7 +116,14 @@ func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool) (*MutateOutcome
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	// A no-op batch (version unchanged) needs no record: it is exactly
+	// as durable as the state it left alone.
+	persisted := persist != nil
+	if persist != nil && res.Version != versionBefore {
+		persisted = persist(res.Version, b)
+	}
 	out := &MutateOutcome{
+		Persisted:     persisted,
 		Res:           res,
 		N:             e.dyn.Overlay().NumVertices(),
 		M:             e.dyn.Overlay().NumEdges(),
@@ -126,7 +151,7 @@ func (s *Server) handleGraphSub(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, infoOf(e))
+		writeJSON(w, http.StatusOK, s.infoOf(e))
 	case len(parts) == 2 && parts[1] == "mutate":
 		s.handleMutate(w, r, parts[0])
 	default:
@@ -182,7 +207,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 		return
 	}
 	defer s.mgr.releaseSlot()
-	out, err := entry.Mutate(batch, req.IncludeColors)
+	out, err := entry.Mutate(batch, req.IncludeColors, s.persistBatch(entry))
 	if err != nil {
 		fail(err)
 		return
@@ -200,6 +225,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 	writeJSONCompact(w, http.StatusOK, MutateResponse{
 		Graph:            name,
 		Version:          res.Version,
+		Persisted:        out.Persisted,
 		N:                out.N,
 		M:                out.M,
 		AddedEdges:       res.AddedEdges,

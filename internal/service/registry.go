@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dynamic"
 	"repro/internal/gen"
@@ -51,6 +52,13 @@ type GraphEntry struct {
 	// mu serializes mutations and guards the fields below. Coloring
 	// requests only hold it long enough to grab the current snapshot.
 	mu sync.Mutex
+	// compacting collapses concurrent compaction triggers for this
+	// entry (size-threshold fire-and-forget plus /v1/admin/compact).
+	compacting atomic.Bool
+	// persistBroken marks degraded durability: a WAL append failed (or
+	// a version gap was detected), so further appends are skipped until
+	// a compaction folds the in-memory state into a fresh snapshot.
+	persistBroken atomic.Bool
 	// dyn is the mutable overlay + maintained coloring, nil until the
 	// first mutation (the common static case pays nothing).
 	dyn *dynamic.Colored
@@ -77,6 +85,13 @@ func NewRegistry() *Registry {
 func (r *Registry) Add(name, spec string, g *graph.Graph) (*GraphEntry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("%w: graph name must be non-empty", ErrBadRequest)
+	}
+	// Cap the name so the store's hex-encoded directory name (2 bytes
+	// per rune + prefix) always fits a 255-byte filesystem component —
+	// an over-long name must 400 here, not strand an upload memory-only
+	// because MkdirAll failed with ENAMETOOLONG at persist time.
+	if len(name) > maxGraphNameLen {
+		return nil, fmt.Errorf("%w: graph name exceeds %d bytes", ErrBadRequest, maxGraphNameLen)
 	}
 	// Stats scan the whole graph — do it before taking the lock so a
 	// large registration cannot stall concurrent Get calls.
@@ -203,6 +218,8 @@ func (r *Registry) Len() int {
 const (
 	maxSpecScale = 22
 	maxSpecEdges = int64(1) << 27 // ~128M edges ≈ 1 GB of edge list
+	// maxGraphNameLen bounds registry names; see Registry.Add.
+	maxGraphNameLen = 120
 )
 
 // BuildSpec builds a graph from a generator spec string. Specs are fully

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/xrand"
+)
+
+// Cold-start benchmark (EXPERIMENTS.md E12): loading a kron graph at
+// daemon boot via the mmap snapshot codec versus re-parsing the
+// equivalent edge-list text versus regenerating from the spec. The
+// snapshot path checksums every section and validates the CSR
+// invariants, so the numbers include the full trust-establishment
+// cost; what it skips is text tokenization, edge-list materialization
+// and the radix-sort rebuild.
+func benchGraph(b *testing.B, scale int) *graph.Graph {
+	b.Helper()
+	g, err := gen.Kronecker(scale, 16, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkColdStart(b *testing.B) {
+	for _, scale := range []int{11, 12, 13} {
+		g := benchGraph(b, scale)
+		dir := b.TempDir()
+		snapPath := filepath.Join(dir, "snap.pcs")
+		if _, err := WriteSnapshotFile(snapPath, g, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		textPath := filepath.Join(dir, "graph.el")
+		tf, err := os.Create(textPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := graphio.WriteEdgeList(tf, g); err != nil {
+			b.Fatal(err)
+		}
+		tf.Close()
+
+		b.Run(fmt.Sprintf("mmap/kron%d", scale), func(b *testing.B) {
+			b.ReportMetric(float64(g.NumEdges()), "edges")
+			for i := 0; i < b.N; i++ {
+				s, err := OpenSnapshot(snapPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Graph.NumEdges() != g.NumEdges() {
+					b.Fatal("wrong graph")
+				}
+				s.Close()
+			}
+		})
+		b.Run(fmt.Sprintf("parse/kron%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := os.Open(textPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g2, err := graphio.ReadEdgeList(f)
+				f.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g2.NumEdges() != g.NumEdges() {
+					b.Fatal("wrong graph")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("regen/kron%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g2, err := gen.Kronecker(scale, 16, 1, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g2.NumEdges() != g.NumEdges() {
+					b.Fatal("wrong graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecoveryReplay measures boot recovery as a function of WAL
+// length on a kron:11 base: open the store, mmap the snapshot, replay
+// every batch through the incremental-repair engine (the service
+// layer's exact path). The compacted variant starts from a snapshot
+// embedding the maintained coloring (WAL already folded), which is
+// what bounds recovery time in production.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	base := benchGraph(b, 11)
+	opts := dynamic.Options{Procs: 1, Seed: 1, Epsilon: 0.01}
+	for _, walLen := range []int{16, 64, 256, 1024} {
+		dir := b.TempDir()
+		st, err := Open(Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Register("g", "upload:edgelist", base, true); err != nil {
+			b.Fatal(err)
+		}
+		ref := dynamic.NewColored(base, opts)
+		rng := xrand.New(7)
+		for applied := 0; applied < walLen; {
+			var batch dynamic.Batch
+			for i := 0; i < 8; i++ {
+				u, v := uint32(rng.Intn(base.NumVertices())), uint32(rng.Intn(base.NumVertices()))
+				if rng.Intn(4) == 0 {
+					batch.DelEdges = append(batch.DelEdges, graph.Edge{U: u, V: v})
+				} else {
+					batch.AddEdges = append(batch.AddEdges, graph.Edge{U: u, V: v})
+				}
+			}
+			before := ref.Version()
+			if _, err := ref.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+			if ref.Version() == before {
+				continue
+			}
+			if _, err := st.AppendBatch("g", ref.Version(), batch); err != nil {
+				b.Fatal(err)
+			}
+			applied++
+		}
+		st.Close()
+
+		b.Run(fmt.Sprintf("wal%d", walLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st2, err := Open(Options{Dir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recovered, err := st2.Recover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				dyn := dynamic.NewColored(recovered[0].Base, opts)
+				for _, rec := range recovered[0].Records {
+					if _, err := dyn.Apply(rec.Batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if dyn.Version() != ref.Version() {
+					b.Fatal("replay diverged")
+				}
+				st2.Close()
+			}
+		})
+	}
+
+	// Compacted baseline: the same history folded into one snapshot.
+	dir := b.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Register("g", "upload:edgelist", base, true); err != nil {
+		b.Fatal(err)
+	}
+	ref := dynamic.NewColored(base, opts)
+	if _, err := ref.Apply(dynamic.Batch{AddEdges: []graph.Edge{{U: 0, V: 99}}}); err != nil {
+		b.Fatal(err)
+	}
+	g1, err := ref.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Compact("g", g1, ref.Colors(), ref.Version()); err != nil {
+		b.Fatal(err)
+	}
+	st.Close()
+	b.Run("compacted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st2, err := Open(Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			recovered, err := st2.Recover()
+			if err != nil {
+				b.Fatal(err)
+			}
+			dyn, err := dynamic.RestoreColored(recovered[0].Base, recovered[0].Colors, recovered[0].SnapshotVersion, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dyn.Version() != ref.Version() {
+				b.Fatal("restore diverged")
+			}
+			st2.Close()
+		}
+	})
+}

@@ -1,0 +1,305 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/jp"
+	"repro/internal/order"
+	"repro/internal/verify"
+	"repro/internal/xrand"
+)
+
+// The acceptance property of ISSUE 4: kill -9 between (or inside)
+// mutation batches, restart from the data directory, and the recovered
+// state must match an in-memory replica that applied the same
+// acknowledged prefix — same graphVersion, same maintained coloring
+// byte for byte, same fixed-seed JP-ADG coloring — and a torn WAL tail
+// is truncated, never half-applied.
+
+var crashOpts = dynamic.Options{Procs: 1, Seed: 1, Epsilon: 0.01}
+
+// randomBatch mirrors colorload's mutation mix: mostly inserts, some
+// deletes, occasionally a new vertex.
+func randomBatch(rng *xrand.RNG, n int) dynamic.Batch {
+	var b dynamic.Batch
+	for i := 0; i < 6; i++ {
+		u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if rng.Intn(4) == 0 {
+			b.DelEdges = append(b.DelEdges, graph.Edge{U: u, V: v})
+		} else {
+			b.AddEdges = append(b.AddEdges, graph.Edge{U: u, V: v})
+		}
+	}
+	if rng.Intn(8) == 0 {
+		b.AddVertices = 1
+	}
+	return b
+}
+
+// fixedSeedColoring runs the deterministic JP-ADG pipeline — the
+// serving layer's cache-key contract: equal (graph, seed, eps) must
+// reproduce this byte for byte.
+func fixedSeedColoring(t *testing.T, g *graph.Graph) []uint32 {
+	t.Helper()
+	ord := order.ADG(g, order.ADGOptions{Epsilon: 0.01, Procs: 1, Seed: 42, Sorted: true})
+	res := jp.Color(g, ord, 1)
+	if err := verify.CheckProper(g, res.Colors); err != nil {
+		t.Fatalf("JP-ADG coloring improper: %v", err)
+	}
+	return res.Colors
+}
+
+// recoverReplica opens the data dir and rebuilds the dynamic state the
+// way the service layer does (persist.go's restoreGraph, minus HTTP).
+func recoverReplica(t *testing.T, dir string, base *graph.Graph) (*dynamic.Colored, *Store, int) {
+	t.Helper()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(recovered))
+	}
+	rg := recovered[0]
+	gBase := rg.Base
+	if gBase == nil {
+		gBase = base // spec-only registration: rebuild deterministically
+	}
+	var dyn *dynamic.Colored
+	if rg.Colors != nil {
+		dyn, err = dynamic.RestoreColored(gBase, rg.Colors, rg.SnapshotVersion, crashOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		dyn = dynamic.NewColored(gBase, crashOpts)
+	}
+	for _, rec := range rg.Records {
+		res, err := dyn.Apply(rec.Batch)
+		if err != nil {
+			t.Fatalf("replaying version %d: %v", rec.Version, err)
+		}
+		if res.Version != rec.Version {
+			t.Fatalf("replay reached version %d, WAL says %d", res.Version, rec.Version)
+		}
+	}
+	return dyn, st, len(rg.Records)
+}
+
+func equalColors(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashRecoveryBetweenBatches drives a mutation history, then for
+// every prefix k simulates a crash that lost the WAL records after k
+// (plus, for every k, a torn half-record tail) and checks the
+// recovered state against an in-memory replica of the first k batches.
+func TestCrashRecoveryBetweenBatches(t *testing.T) {
+	base, err := gen.Kronecker(7, 6, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("g", "upload:edgelist", base, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference history: the process that will "crash".
+	const steps = 8
+	rng := xrand.New(99)
+	ref := dynamic.NewColored(base, crashOpts)
+	var batches []dynamic.Batch
+	var walSizes []int64 // WAL size after each acknowledged batch
+	for len(batches) < steps {
+		b := randomBatch(rng, ref.Overlay().NumVertices())
+		res, err := ref.Apply(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Version != uint64(len(batches)+1) {
+			continue // no-op batch: not acknowledged, not logged
+		}
+		if _, err := st.AppendBatch("g", res.Version, b); err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, b)
+		walSizes = append(walSizes, st.Stats().WALBytes)
+	}
+	st.Close()
+	walPath := filepath.Join(dir, "graphs", "g-g", "wal.log")
+	fullWAL, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica of the first k batches, for every k.
+	replicas := make([]*dynamic.Colored, steps+1)
+	replicas[0] = dynamic.NewColored(base, crashOpts)
+	for k := 1; k <= steps; k++ {
+		r := dynamic.NewColored(base, crashOpts)
+		for _, b := range batches[:k] {
+			if _, err := r.Apply(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		replicas[k] = r
+	}
+
+	check := func(k int, cut int64) {
+		if err := os.WriteFile(walPath, fullWAL[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dyn, st2, replayed := recoverReplica(t, dir, base)
+		defer st2.Close()
+		if replayed != k {
+			t.Fatalf("cut %d: replayed %d batches, want %d", cut, replayed, k)
+		}
+		want := replicas[k]
+		if dyn.Version() != want.Version() {
+			t.Fatalf("cut %d: version %d, want %d", cut, dyn.Version(), want.Version())
+		}
+		gRec, err := dyn.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gWant, err := want.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(gRec, gWant) {
+			t.Fatalf("cut %d: recovered graph differs from replica", cut)
+		}
+		// Maintained coloring: byte-identical and proper.
+		if !equalColors(dyn.Colors(), want.Colors()) {
+			t.Fatalf("cut %d: maintained coloring diverged", cut)
+		}
+		if err := verify.CheckProper(gRec, dyn.Colors()); err != nil {
+			t.Fatalf("cut %d: recovered maintained coloring improper: %v", cut, err)
+		}
+		// The serving contract: fixed-seed colorings reproduce exactly.
+		if !equalColors(fixedSeedColoring(t, gRec), fixedSeedColoring(t, gWant)) {
+			t.Fatalf("cut %d: fixed-seed JP-ADG coloring diverged", cut)
+		}
+	}
+
+	// Crash exactly between batches: every acknowledged prefix.
+	for k := 0; k <= steps; k++ {
+		var cut int64 = walHeaderSize
+		if k > 0 {
+			cut = walSizes[k-1]
+		}
+		check(k, cut)
+	}
+	// Torn tails: a crash mid-append leaves a half-written record that
+	// must recover to the previous acknowledged prefix.
+	for k := 0; k < steps; k++ {
+		prev := int64(walHeaderSize)
+		if k > 0 {
+			prev = walSizes[k-1]
+		}
+		cut := prev + (walSizes[k]-prev)/2
+		if cut > prev {
+			check(k, cut)
+		}
+	}
+}
+
+// TestCrashRecoveryAcrossCompaction folds half the history into a
+// snapshot (embedding the maintained coloring), keeps mutating, then
+// recovers and checks against the full-history replica — the restored
+// coloring must continue the incremental-repair trajectory exactly.
+func TestCrashRecoveryAcrossCompaction(t *testing.T) {
+	base, err := gen.Kronecker(7, 6, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("g", "upload:edgelist", base, true); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(123)
+	ref := dynamic.NewColored(base, crashOpts)
+	apply := func() {
+		for {
+			b := randomBatch(rng, ref.Overlay().NumVertices())
+			vBefore := ref.Version()
+			res, err := ref.Apply(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Version == vBefore {
+				continue
+			}
+			if _, err := st.AppendBatch("g", res.Version, b); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	for i := 0; i < 4; i++ {
+		apply()
+	}
+	gMid, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact("g", gMid, ref.Colors(), ref.Version()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		apply()
+	}
+	wantVersion := ref.Version()
+	st.Close()
+
+	dyn, st2, replayed := recoverReplica(t, dir, base)
+	defer st2.Close()
+	if replayed != 3 {
+		t.Fatalf("replayed %d post-compaction batches, want 3", replayed)
+	}
+	if dyn.Version() != wantVersion {
+		t.Fatalf("recovered version %d, want %d", dyn.Version(), wantVersion)
+	}
+	if !equalColors(dyn.Colors(), ref.Colors()) {
+		t.Fatal("maintained coloring diverged across compaction + recovery")
+	}
+	gRec, err := dyn.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRef, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(gRec, gRef) {
+		t.Fatal("recovered graph diverged across compaction")
+	}
+	if err := verify.CheckProper(gRec, dyn.Colors()); err != nil {
+		t.Fatalf("recovered coloring improper: %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !linux && !darwin
+
+package store
+
+import "os"
+
+// mmapFile on platforms without a wired mmap path falls back to
+// reading the file into the heap; the codec is identical, only the
+// page-cache sharing is lost.
+func mmapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func munmap(data []byte) error { return nil }

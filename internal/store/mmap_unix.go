@@ -1,0 +1,44 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The second result reports whether the
+// bytes are an mmap (true) and must eventually go through munmap, or a
+// plain heap read (false, used for empty files — mmap of length 0 is
+// an error on Linux).
+func mmapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, nil
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, false, fmt.Errorf("store: %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: mmap %s: %v", path, err)
+	}
+	return data, true, nil
+}
+
+func munmap(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

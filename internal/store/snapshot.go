@@ -1,0 +1,380 @@
+// Package store is the persistence subsystem of the serving layer: a
+// versioned binary snapshot codec for CSR graphs and maintained
+// colorings that loads via mmap (cold start skips text parsing and the
+// big arrays are served page-cached instead of heap-copied), a
+// per-graph write-ahead log of mutation batches (fsync'd,
+// length-prefixed, checksummed, truncate-on-torn-tail) with
+// size-triggered compaction that folds the log into a fresh snapshot,
+// and the directory layout + recovery scan colord boots from.
+//
+// Correctness anchor: the coloring algorithms are Las Vegas and
+// seed-deterministic, so a recovered (graph, version) must reproduce
+// byte-identical colorings for every (algo, seed, eps) — recovery
+// therefore restores the exact graph bytes (checksummed sections) and
+// the exact mutation version (snapshot version + WAL replay), and the
+// maintained dynamic coloring is restored either verbatim (compacted
+// snapshots embed it) or by replaying the identical batch history.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// Snapshot file layout (format 1, all integers little-endian):
+//
+//	header (16 bytes): magic u64 | format u32 | sectionCount u32
+//	section table (32 bytes per section):
+//	    id u32 | reserved u32 | offset u64 | length u64 | xxhash64 u64
+//	payloads, each starting at an 8-byte-aligned offset
+//
+// Sections (META, OFFSETS and ADJ are mandatory, COLORS optional):
+//
+//	META    (24 bytes): n u64 | arcs u64 | graphVersion u64
+//	OFFSETS           : (n+1) int64  — the CSR offset array
+//	ADJ               : arcs  uint32 — the concatenated neighbor lists
+//	COLORS            : n     uint32 — maintained coloring at graphVersion
+const (
+	snapMagic       = uint64(0x31305041_4e534350) // "PCSNAP01" read LE
+	snapFormat      = uint32(1)
+	snapHeaderSize  = 16
+	snapSectionSize = 32
+
+	secMeta    = uint32(1)
+	secOffsets = uint32(2)
+	secAdj     = uint32(3)
+	secColors  = uint32(4)
+
+	// snapMaxVertices / snapMaxArcs bound what a snapshot may declare,
+	// mirroring graphio.ReadBinary's plausibility caps: a corrupt or
+	// hostile header must not commit gigabytes before checksums run.
+	snapMaxVertices = uint64(1) << 31
+	snapMaxArcs     = uint64(1) << 40
+	snapMaxSections = 16
+)
+
+// Snapshot is a decoded snapshot. Graph (and Colors, when present)
+// alias the backing buffer: for an mmap-backed snapshot they are
+// served straight from the page cache and stay valid only until Close.
+type Snapshot struct {
+	// Graph is the decoded CSR graph.
+	Graph *graph.Graph
+	// Colors is the embedded maintained coloring (nil when the
+	// snapshot carries none, e.g. an upload persisted at version 0).
+	Colors []uint32
+	// GraphVersion is the mutation version the snapshot captures.
+	GraphVersion uint64
+
+	data   []byte // backing buffer (heap or mmap)
+	mapped bool
+}
+
+// Close releases the backing mapping. The Graph and Colors views must
+// not be used afterwards. Safe to call on heap-backed snapshots.
+func (s *Snapshot) Close() error {
+	if s == nil || !s.mapped {
+		return nil
+	}
+	s.mapped = false
+	data := s.data
+	s.data = nil
+	return munmap(data)
+}
+
+// Mapped reports whether the snapshot is served from an mmap'd file.
+func (s *Snapshot) Mapped() bool { return s.mapped }
+
+// littleEndianHost reports whether the host stores integers
+// little-endian, which makes the on-disk section bytes directly
+// reinterpretable as []int64 / []uint32 without copying.
+var littleEndianHost = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int64Bytes views s as its little-endian byte encoding. On a
+// little-endian host this is a zero-copy reinterpretation.
+func int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if littleEndianHost {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	out := make([]byte, len(s)*8)
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+// uint32Bytes views s as its little-endian byte encoding (zero-copy on
+// little-endian hosts).
+func uint32Bytes(s []uint32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if littleEndianHost {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	out := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// bytesToInt64 views the little-endian payload b as []int64. b must be
+// 8-byte aligned (section payloads are) and len(b) a multiple of 8.
+func bytesToInt64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if littleEndianHost && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// bytesToUint32 views the little-endian payload b as []uint32.
+func bytesToUint32(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if littleEndianHost && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+type snapSection struct {
+	id      uint32
+	payload []byte
+}
+
+// WriteSnapshot encodes g (and colors, which may be nil) at
+// graphVersion to w in the snapshot format.
+func WriteSnapshot(w io.Writer, g *graph.Graph, colors []uint32, graphVersion uint64) error {
+	n := g.NumVertices()
+	if colors != nil && len(colors) != n {
+		return fmt.Errorf("store: snapshot colors length %d != n %d", len(colors), n)
+	}
+	var meta [24]byte
+	binary.LittleEndian.PutUint64(meta[0:], uint64(n))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(g.NumArcs()))
+	binary.LittleEndian.PutUint64(meta[16:], graphVersion)
+	offsets := g.Offsets()
+	if len(offsets) == 0 { // the zero-value empty graph still gets a real offsets array
+		offsets = []int64{0}
+	}
+	adj := g.Adjacency()
+	sections := []snapSection{
+		{secMeta, meta[:]},
+		{secOffsets, int64Bytes(offsets)},
+		{secAdj, uint32Bytes(adj)},
+	}
+	if colors != nil {
+		sections = append(sections, snapSection{secColors, uint32Bytes(colors)})
+	}
+
+	var hdr [snapHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], snapFormat)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(sections)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	// Section table: payloads start after it, each 8-byte aligned.
+	pos := int64(snapHeaderSize + snapSectionSize*len(sections))
+	table := make([]byte, snapSectionSize*len(sections))
+	type placed struct {
+		off int64
+		pad int
+	}
+	places := make([]placed, len(sections))
+	for i, sec := range sections {
+		pad := int((8 - pos%8) % 8)
+		pos += int64(pad)
+		places[i] = placed{off: pos, pad: pad}
+		ent := table[i*snapSectionSize:]
+		binary.LittleEndian.PutUint32(ent[0:], sec.id)
+		binary.LittleEndian.PutUint64(ent[8:], uint64(pos))
+		binary.LittleEndian.PutUint64(ent[16:], uint64(len(sec.payload)))
+		binary.LittleEndian.PutUint64(ent[24:], xxhash64(sec.payload, 0))
+		pos += int64(len(sec.payload))
+	}
+	if _, err := w.Write(table); err != nil {
+		return err
+	}
+	var zeros [8]byte
+	for i, sec := range sections {
+		if places[i].pad > 0 {
+			if _, err := w.Write(zeros[:places[i].pad]); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(sec.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the snapshot atomically: to a temp file in
+// the same directory, fsync'd, then renamed over path, then the
+// directory fsync'd — a crash at any point leaves either the old file
+// or the new one, never a torn snapshot under the final name.
+func WriteSnapshotFile(path string, g *graph.Graph, colors []uint32, graphVersion uint64) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return 0, err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after the rename succeeds
+	if err := WriteSnapshot(tmp, g, colors, graphVersion); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	size, err := tmp.Seek(0, io.SeekEnd)
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return 0, err
+	}
+	return size, syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// DecodeSnapshot decodes a snapshot from data without copying the big
+// arrays: the returned Graph and Colors alias data. Every section is
+// bounds-checked and checksummed before use, and the CSR invariants
+// the coloring code relies on (monotone offsets, in-range, strictly
+// sorted neighbor rows, no self-loops) are verified in one sequential
+// pass — arbitrary bytes must never produce a graph that can panic
+// downstream. Symmetry is not re-checked: the writers only serialize
+// graphs that are symmetric by construction, and the checksums pin
+// their bytes.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapHeaderSize {
+		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
+	}
+	if got := binary.LittleEndian.Uint64(data[0:]); got != snapMagic {
+		return nil, fmt.Errorf("store: bad snapshot magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(data[8:]); got != snapFormat {
+		return nil, fmt.Errorf("store: unsupported snapshot format %d", got)
+	}
+	nSec := binary.LittleEndian.Uint32(data[12:])
+	if nSec == 0 || nSec > snapMaxSections {
+		return nil, fmt.Errorf("store: implausible section count %d", nSec)
+	}
+	tableEnd := snapHeaderSize + int(nSec)*snapSectionSize
+	if tableEnd > len(data) {
+		return nil, fmt.Errorf("store: section table truncated")
+	}
+	payloads := map[uint32][]byte{}
+	for i := 0; i < int(nSec); i++ {
+		ent := data[snapHeaderSize+i*snapSectionSize:]
+		id := binary.LittleEndian.Uint32(ent[0:])
+		off := binary.LittleEndian.Uint64(ent[8:])
+		length := binary.LittleEndian.Uint64(ent[16:])
+		sum := binary.LittleEndian.Uint64(ent[24:])
+		if off%8 != 0 || off < uint64(tableEnd) || off > uint64(len(data)) ||
+			length > uint64(len(data))-off {
+			return nil, fmt.Errorf("store: section %d out of bounds (off %d len %d of %d)", id, off, length, len(data))
+		}
+		if _, dup := payloads[id]; dup {
+			return nil, fmt.Errorf("store: duplicate section %d", id)
+		}
+		payload := data[off : off+length]
+		if got := xxhash64(payload, 0); got != sum {
+			return nil, fmt.Errorf("store: section %d checksum mismatch (got %#x want %#x)", id, got, sum)
+		}
+		payloads[id] = payload
+	}
+	meta, ok := payloads[secMeta]
+	if !ok || len(meta) != 24 {
+		return nil, fmt.Errorf("store: missing or malformed META section")
+	}
+	n64 := binary.LittleEndian.Uint64(meta[0:])
+	arcs := binary.LittleEndian.Uint64(meta[8:])
+	version := binary.LittleEndian.Uint64(meta[16:])
+	if n64 > snapMaxVertices || arcs > snapMaxArcs {
+		return nil, fmt.Errorf("store: implausible snapshot sizes n=%d arcs=%d", n64, arcs)
+	}
+	offB, ok := payloads[secOffsets]
+	if !ok || uint64(len(offB)) != (n64+1)*8 {
+		return nil, fmt.Errorf("store: OFFSETS section has %d bytes, want %d", len(offB), (n64+1)*8)
+	}
+	adjB, ok := payloads[secAdj]
+	if !ok || uint64(len(adjB)) != arcs*4 {
+		return nil, fmt.Errorf("store: ADJ section has %d bytes, want %d", len(adjB), arcs*4)
+	}
+	offsets := bytesToInt64(offB)
+	adj := bytesToUint32(adjB)
+	g, err := graph.FromCSR(offsets, adj)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot CSR invalid: %v", err)
+	}
+	s := &Snapshot{Graph: g, GraphVersion: version, data: data}
+	if colB, ok := payloads[secColors]; ok {
+		if uint64(len(colB)) != n64*4 {
+			return nil, fmt.Errorf("store: COLORS section has %d bytes, want %d", len(colB), n64*4)
+		}
+		s.Colors = bytesToUint32(colB)
+	}
+	return s, nil
+}
+
+// OpenSnapshot maps path and decodes it. On platforms with mmap the
+// offsets/edges arrays are served from the page cache (no heap copy,
+// lazily faulted); elsewhere the file is read into memory. Close the
+// snapshot to release the mapping.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	data, mapped, err := mmapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		if mapped {
+			_ = munmap(data)
+		}
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	s.mapped = mapped
+	return s, nil
+}

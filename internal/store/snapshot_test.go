@@ -1,0 +1,268 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestXXHash64Vectors pins the hash against the reference XXH64 test
+// vectors (xxHash spec, seed 0), covering the short path and the
+// >= 32-byte stripe path.
+func TestXXHash64Vectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		seed uint64
+		want uint64
+	}{
+		{"", 0, 0xef46db3751d8e999},
+		{"a", 0, 0xd24ec4f1a98c6e5b},
+		{"abc", 0, 0x44bc2cf5ad770999},
+		{"Nobody inspects the spammish repetition", 0, 0xfbcea83c8a378bf1},
+	}
+	for _, c := range cases {
+		if got := xxhash64([]byte(c.in), c.seed); got != c.want {
+			t.Errorf("xxhash64(%q, %d) = %#x, want %#x", c.in, c.seed, got, c.want)
+		}
+	}
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Kronecker(8, 8, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+		return false
+	}
+	ao, bo := a.Offsets(), b.Offsets()
+	for i := range ao {
+		if ao[i] != bo[i] {
+			return false
+		}
+	}
+	aa, ba := a.Adjacency(), b.Adjacency()
+	for i := range aa {
+		if aa[i] != ba[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	colors := make([]uint32, g.NumVertices())
+	for i := range colors {
+		colors[i] = uint32(i%7 + 1) // not proper; the codec does not care
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, colors, 42); err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GraphVersion != 42 {
+		t.Fatalf("version = %d, want 42", s.GraphVersion)
+	}
+	if !graphsEqual(g, s.Graph) {
+		t.Fatal("decoded graph differs from original")
+	}
+	if len(s.Colors) != len(colors) {
+		t.Fatalf("colors length %d, want %d", len(s.Colors), len(colors))
+	}
+	for i := range colors {
+		if s.Colors[i] != colors[i] {
+			t.Fatalf("colors[%d] = %d, want %d", i, s.Colors[i], colors[i])
+		}
+	}
+	if err := s.Graph.Validate(); err != nil {
+		t.Fatalf("decoded graph invalid: %v", err)
+	}
+}
+
+func TestSnapshotRoundTripNoColors(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Colors != nil {
+		t.Fatal("colors present on a colorless snapshot")
+	}
+	if !graphsEqual(g, s.Graph) {
+		t.Fatal("decoded graph differs from original")
+	}
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph.NumVertices() != 0 || s.Graph.NumEdges() != 0 {
+		t.Fatalf("decoded empty graph as n=%d m=%d", s.Graph.NumVertices(), s.Graph.NumEdges())
+	}
+}
+
+// TestSnapshotDetectsCorruption flips every byte of an encoded
+// snapshot in turn: each corruption must fail decoding (checksum,
+// bounds or structural check) — never panic, never silently decode to
+// a different graph.
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	g, err := gen.Kronecker(5, 4, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, nil, 9); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0xff
+		s, err := DecodeSnapshot(mut)
+		if err != nil {
+			continue
+		}
+		// The only byte flips that may legally decode are inside the
+		// reserved/padding areas; the graph must then be identical.
+		if !graphsEqual(g, s.Graph) || s.GraphVersion != 9 {
+			t.Fatalf("flip at byte %d decoded to a different snapshot", i)
+		}
+	}
+}
+
+// TestSnapshotTruncationRejected: every proper prefix of a snapshot
+// must fail to decode.
+func TestSnapshotTruncationRejected(t *testing.T) {
+	g, err := gen.Kronecker(4, 4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeSnapshot(full[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(full))
+		}
+	}
+}
+
+func TestWriteSnapshotFileAndOpen(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.pcs")
+	size, err := WriteSnapshotFile(path, g, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != size {
+		t.Fatalf("reported size %d, file is %d", size, st.Size())
+	}
+	s, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !graphsEqual(g, s.Graph) {
+		t.Fatal("mmap-opened graph differs from original")
+	}
+	if s.GraphVersion != 5 {
+		t.Fatalf("version = %d, want 5", s.GraphVersion)
+	}
+	// On linux/darwin the arrays must actually be mmap-served.
+	if !s.Mapped() {
+		t.Log("snapshot not mmap-backed on this platform (fallback path)")
+	}
+	// Graph operations work off the mapping.
+	if s.Graph.MaxDegree() != g.MaxDegree() {
+		t.Fatal("mmap-backed degree scan differs")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+}
+
+func TestOpenSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenSnapshot(filepath.Join(dir, "missing.pcs")); err == nil {
+		t.Fatal("opening a missing snapshot succeeded")
+	}
+	bad := filepath.Join(dir, "bad.pcs")
+	if err := os.WriteFile(bad, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(bad); err == nil {
+		t.Fatal("opening garbage succeeded")
+	}
+}
+
+// TestByteViewUnalignedFallback covers the copy path of the
+// byte-to-array views: an unaligned payload must decode by copying
+// rather than reinterpreting.
+func TestByteViewUnalignedFallback(t *testing.T) {
+	vals := []int64{0, 3, 9}
+	enc := int64Bytes(vals)
+	buf := make([]byte, len(enc)+1)
+	copy(buf[1:], enc) // 1 mod 8 alignment
+	got := bytesToInt64(buf[1:])
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("unaligned int64 decode[%d] = %d, want %d", i, got[i], v)
+		}
+	}
+	u := []uint32{7, 42}
+	encU := uint32Bytes(u)
+	bufU := make([]byte, len(encU)+1)
+	copy(bufU[1:], encU)
+	gotU := bytesToUint32(bufU[1:])
+	if gotU[0] != 7 || gotU[1] != 42 {
+		t.Fatalf("unaligned uint32 decode = %v", gotU)
+	}
+	if int64Bytes(nil) != nil || uint32Bytes(nil) != nil || bytesToInt64(nil) != nil || bytesToUint32(nil) != nil {
+		t.Fatal("empty views not nil")
+	}
+}
+
+func TestSnapshotColorsLengthMismatch(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, make([]uint32, 3), 0); err == nil {
+		t.Fatal("snapshot accepted colors of the wrong length")
+	}
+}

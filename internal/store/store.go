@@ -1,0 +1,591 @@
+package store
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+// Directory layout under Options.Dir:
+//
+//	graphs/
+//	  <dirname>/            one directory per registered graph
+//	    meta.json           name, spec, snapshot pointer + version
+//	    snapshot-<V>.pcs    binary snapshot at graph version V (uploads
+//	                        at registration, every graph after compaction;
+//	                        spec-built graphs may have none — the spec
+//	                        string rebuilds them deterministically)
+//	    wal.log             mutation batches with version > V
+//
+// meta.json is written atomically (temp + rename + dir fsync) and a
+// new snapshot is written and referenced from meta before the WAL is
+// reset, so every crash point recovers to a consistent (snapshot or
+// spec) + WAL-suffix pair: records at or below the snapshot version
+// are skipped on replay.
+
+// DefaultCompactBytes is the WAL size past which a compaction is
+// suggested (AppendBatch's second result).
+const DefaultCompactBytes = int64(4) << 20
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the data directory (created if absent).
+	Dir string
+	// CompactBytes is the WAL size threshold that makes AppendBatch
+	// request compaction (<= 0 selects DefaultCompactBytes).
+	CompactBytes int64
+}
+
+// Meta is the per-graph metadata document (meta.json).
+type Meta struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+	// Snapshot is the snapshot file name ("" when the graph has none
+	// and must be rebuilt from Spec); SnapshotVersion is the graph
+	// version it captures.
+	Snapshot        string `json:"snapshot,omitempty"`
+	SnapshotVersion uint64 `json:"snapshotVersion"`
+}
+
+// graphStore is the open persistent state of one graph. mu guards
+// every field: appends, compaction folds, stats reads and the final
+// close all serialize per graph, so the global Store.mu is only ever
+// held for map lookups — never across disk I/O. Lock order is always
+// Store.mu before graphStore.mu; nothing acquires Store.mu while
+// holding a graphStore.mu.
+type graphStore struct {
+	mu   sync.Mutex
+	dir  string
+	meta Meta
+	wal  *WAL // nil only for a registration that failed mid-build
+	// lastVersion is the newest graph version the store holds durably
+	// (snapshot version, advanced by every appended record). AppendBatch
+	// enforces continuity against it: a version gap — a batch that was
+	// applied in memory but never logged, whatever the cause — must be
+	// rejected here, because a WAL with a hole replays to a version
+	// mismatch and makes the data directory unbootable.
+	lastVersion uint64
+	// snap is the open snapshot backing the served base graph; it (and
+	// any predecessors retired by compaction) stays mapped until the
+	// store closes, because registered graphs alias its arrays for the
+	// life of the process.
+	snap    *Snapshot
+	retired []*Snapshot
+}
+
+// RecoveredGraph is what one graph directory recovers to: a base
+// (snapshot graph, or nil when the spec must rebuild it), the
+// maintained coloring embedded in a compacted snapshot (nil if none),
+// the version the base captures, and the WAL suffix to replay on top.
+type RecoveredGraph struct {
+	Name            string
+	Spec            string
+	Base            *graph.Graph
+	Colors          []uint32
+	SnapshotVersion uint64
+	Records         []WALRecord
+	// WALTruncated reports that a torn tail was detected by checksum
+	// and cut; SkippedRecords counts records already folded into the
+	// snapshot (a crash between compaction's meta swap and WAL reset).
+	WALTruncated   bool
+	SkippedRecords int
+}
+
+// Stats is the /metrics view of the store.
+type Stats struct {
+	Dir             string `json:"dir"`
+	Graphs          int    `json:"graphs"`
+	Snapshots       int    `json:"snapshots"`
+	SnapshotBytes   int64  `json:"snapshotBytes"`
+	WALBytes        int64  `json:"walBytes"`
+	WALRecords      int64  `json:"walRecords"`
+	WALAppends      int64  `json:"walAppends"`
+	Compactions     int64  `json:"compactions"`
+	RecoveredGraphs int    `json:"recoveredGraphs"`
+	ReplayedBatches int    `json:"replayedBatches"`
+	TruncatedWALs   int    `json:"truncatedWALs"`
+}
+
+// Store is the persistent graph & coloring store colord mounts at
+// --data-dir. Safe for concurrent use; per-graph operations serialize
+// on the store lock only long enough to resolve the graphStore, and
+// the service layer already serializes appends per graph (the entry's
+// mutation lock).
+type Store struct {
+	dir          string
+	compactBytes int64
+
+	mu     sync.Mutex
+	graphs map[string]*graphStore
+	closed bool
+
+	walAppends      atomic.Int64
+	compactions     atomic.Int64
+	recoveredGraphs int
+	replayedBatches int
+	truncatedWALs   int
+}
+
+// Open opens (creating if needed) the store rooted at opts.Dir.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = DefaultCompactBytes
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, "graphs"), 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:          opts.Dir,
+		compactBytes: opts.CompactBytes,
+		graphs:       make(map[string]*graphStore),
+	}, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// dirName maps a graph name to a filesystem-safe directory name:
+// names made of [A-Za-z0-9._-] keep their spelling under a "g-"
+// prefix, everything else is hex-encoded under "x-". Injective, so
+// distinct graphs can never share a directory; the authoritative name
+// lives in meta.json either way.
+func dirName(name string) string {
+	safe := len(name) > 0 && len(name) <= 64
+	for i := 0; safe && i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			safe = false
+		}
+	}
+	if safe {
+		return "g-" + name
+	}
+	return "x-" + hex.EncodeToString([]byte(name))
+}
+
+func (s *Store) graphDir(name string) string {
+	return filepath.Join(s.dir, "graphs", dirName(name))
+}
+
+// writeMeta writes meta.json atomically.
+func writeMeta(dir string, m Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".meta-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, "meta.json")); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Register persists a newly registered graph. For spec-built graphs
+// (g == nil or a reproducible spec) only the metadata is stored — the
+// spec string rebuilds the identical graph on boot; pass g non-nil
+// with snapshot=true for uploads, whose bytes exist nowhere else.
+// Idempotent: re-registering an existing graph is a no-op.
+//
+// The disk work (potentially a multi-hundred-MB snapshot write) runs
+// outside the global lock: a placeholder entry is published first with
+// its per-graph lock held, so concurrent appends for this name queue
+// on it while every other graph's traffic proceeds untouched.
+func (s *Store) Register(name, spec string, g *graph.Graph, snapshot bool) error {
+	if snapshot && g == nil {
+		return fmt.Errorf("store: snapshot registration of %q needs a graph", name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.graphs[name]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	gs := &graphStore{dir: s.graphDir(name)}
+	gs.mu.Lock() // held until built; lookups block here, not on s.mu
+	s.graphs[name] = gs
+	s.mu.Unlock()
+
+	if err := s.buildGraphStore(gs, name, spec, g, snapshot); err != nil {
+		// Unpublish. gs.mu is released before re-taking s.mu (lock
+		// order); a waiter that slips in sees gs.wal == nil and errors.
+		gs.mu.Unlock()
+		s.mu.Lock()
+		delete(s.graphs, name)
+		s.mu.Unlock()
+		return err
+	}
+	gs.mu.Unlock()
+	return nil
+}
+
+// buildGraphStore does Register's disk work under gs.mu only.
+func (s *Store) buildGraphStore(gs *graphStore, name, spec string, g *graph.Graph, snapshot bool) error {
+	if err := os.MkdirAll(gs.dir, 0o755); err != nil {
+		return err
+	}
+	meta := Meta{Name: name, Spec: spec}
+	if snapshot {
+		meta.Snapshot = "snapshot-0.pcs"
+		if _, err := WriteSnapshotFile(filepath.Join(gs.dir, meta.Snapshot), g, nil, 0); err != nil {
+			return err
+		}
+	}
+	if err := writeMeta(gs.dir, meta); err != nil {
+		return err
+	}
+	wal, _, _, err := OpenWAL(filepath.Join(gs.dir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	gs.meta = meta
+	gs.wal = wal
+	if meta.Snapshot != "" {
+		snap, err := OpenSnapshot(filepath.Join(gs.dir, meta.Snapshot))
+		if err != nil {
+			wal.Close()
+			gs.wal = nil
+			return err
+		}
+		gs.snap = snap
+	}
+	return nil
+}
+
+// Has reports whether name is persisted in this store.
+func (s *Store) Has(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.graphs[name]
+	return ok
+}
+
+// AppendBatch durably logs one applied mutation batch. version is the
+// graph version after the batch. The second result asks the caller to
+// schedule a compaction (WAL past the size threshold). The service
+// layer calls this under the graph entry's mutation lock, which makes
+// record order equal mutation order.
+func (s *Store) AppendBatch(name string, version uint64, b dynamic.Batch) (bool, error) {
+	gs, err := s.lookup(name)
+	if err != nil {
+		return false, err
+	}
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal == nil {
+		return false, fmt.Errorf("store: graph %q not persisted", name)
+	}
+	if version != gs.lastVersion+1 {
+		return false, fmt.Errorf("store: WAL gap for %q: appending version %d after %d (an earlier batch was never logged; compact to re-sync)",
+			name, version, gs.lastVersion)
+	}
+	if err := gs.wal.Append(version, b); err != nil {
+		return false, err
+	}
+	gs.lastVersion = version
+	s.walAppends.Add(1)
+	return gs.wal.Size() >= s.compactBytes, nil
+}
+
+// lookup resolves name under the global lock only.
+func (s *Store) lookup(name string) (*graphStore, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	gs, ok := s.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("store: graph %q not persisted", name)
+	}
+	return gs, nil
+}
+
+// PendingCompact is a compaction whose snapshot file is written but
+// not yet adopted. Built by BeginCompact (slow disk work, no locks the
+// serving path cares about), finished by Commit (fast meta swap + WAL
+// reset) or Abort. The split lets the service layer capture graph
+// state, write the snapshot with mutations flowing, and take the
+// entry's mutation lock only for the commit — after re-checking that
+// no batch advanced the version past what the snapshot captures.
+type PendingCompact struct {
+	s        *Store
+	gs       *graphStore
+	name     string
+	snapName string
+	version  uint64
+}
+
+// BeginCompact writes g (the graph at version, with its maintained
+// coloring) as a snapshot file for name and returns the pending
+// handle. Nothing is adopted yet; a crash here leaves only a stray
+// file the next compaction overwrites.
+func (s *Store) BeginCompact(name string, g *graph.Graph, colors []uint32, version uint64) (*PendingCompact, error) {
+	gs, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	snapName := fmt.Sprintf("snapshot-%d.pcs", version)
+	if _, err := WriteSnapshotFile(filepath.Join(gs.dir, snapName), g, colors, version); err != nil {
+		return nil, err
+	}
+	return &PendingCompact{s: s, gs: gs, name: name, snapName: snapName, version: version}, nil
+}
+
+// Abort discards the written snapshot file.
+func (p *PendingCompact) Abort() {
+	_ = os.Remove(filepath.Join(p.gs.dir, p.snapName))
+}
+
+// Commit adopts the pending snapshot: point meta at it, reset the WAL
+// and delete the superseded snapshot file. The caller must guarantee
+// no batch with version > p.version has been applied or appended (the
+// service layer holds the entry's mutation lock across the version
+// re-check and this call). Crash-safe at every point: the
+// snapshot-then-meta-then-reset order means recovery sees either the
+// old (snapshot, full WAL) pair or the new (snapshot, WAL suffix)
+// pair, with already-folded records skipped by version.
+func (p *PendingCompact) Commit() error {
+	gs := p.gs
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal == nil {
+		return fmt.Errorf("store: graph %q not persisted", p.name)
+	}
+	oldSnap := gs.meta.Snapshot
+	newMeta := gs.meta
+	newMeta.Snapshot = p.snapName
+	newMeta.SnapshotVersion = p.version
+	if err := writeMeta(gs.dir, newMeta); err != nil {
+		return err
+	}
+	gs.meta = newMeta
+	if err := gs.wal.Reset(); err != nil {
+		return err
+	}
+	gs.lastVersion = p.version
+	// Keep the superseded mapping alive (the served base graph may
+	// alias it) but drop its file; the new snapshot is opened so its
+	// mapping is ready for the next recovery-free restart and so Stats
+	// can report real sizes.
+	if gs.snap != nil {
+		gs.retired = append(gs.retired, gs.snap)
+		gs.snap = nil
+	}
+	if oldSnap != "" && oldSnap != p.snapName {
+		_ = os.Remove(filepath.Join(gs.dir, oldSnap))
+	}
+	snap, err := OpenSnapshot(filepath.Join(gs.dir, p.snapName))
+	if err != nil {
+		return err
+	}
+	gs.snap = snap
+	p.s.compactions.Add(1)
+	return nil
+}
+
+// Compact is BeginCompact + Commit in one call, for callers that
+// already guarantee no concurrent appends (tests, single-threaded
+// tools). The serving path uses the two-phase form.
+func (s *Store) Compact(name string, g *graph.Graph, colors []uint32, version uint64) error {
+	p, err := s.BeginCompact(name, g, colors, version)
+	if err != nil {
+		return err
+	}
+	return p.Commit()
+}
+
+// Recover scans the data directory, opening every graph: snapshots are
+// mapped, WALs replayed (torn tails truncated) and filtered to the
+// records newer than the snapshot. The store keeps the WALs open for
+// appending; the caller (service layer) registers the graphs and
+// replays the batches through the dynamic overlay.
+func (s *Store) Recover() ([]RecoveredGraph, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	root := filepath.Join(s.dir, "graphs")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []RecoveredGraph
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, ent.Name())
+		metaPath := filepath.Join(dir, "meta.json")
+		data, err := os.ReadFile(metaPath)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A crash between MkdirAll and writeMeta leaves an empty
+				// directory: nothing was acknowledged, drop it.
+				continue
+			}
+			return nil, err
+		}
+		var meta Meta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return nil, fmt.Errorf("store: %s: %v", metaPath, err)
+		}
+		if meta.Name == "" {
+			return nil, fmt.Errorf("store: %s: missing graph name", metaPath)
+		}
+		if _, dup := s.graphs[meta.Name]; dup {
+			return nil, fmt.Errorf("store: graph %q recovered twice", meta.Name)
+		}
+		gs := &graphStore{dir: dir, meta: meta}
+		rg := RecoveredGraph{Name: meta.Name, Spec: meta.Spec, SnapshotVersion: meta.SnapshotVersion}
+		if meta.Snapshot != "" {
+			snap, err := OpenSnapshot(filepath.Join(dir, meta.Snapshot))
+			if err != nil {
+				return nil, fmt.Errorf("store: graph %q: %v", meta.Name, err)
+			}
+			if snap.GraphVersion != meta.SnapshotVersion {
+				snap.Close()
+				return nil, fmt.Errorf("store: graph %q: snapshot at version %d, meta says %d",
+					meta.Name, snap.GraphVersion, meta.SnapshotVersion)
+			}
+			gs.snap = snap
+			rg.Base = snap.Graph
+			rg.Colors = snap.Colors
+		}
+		wal, records, truncated, err := OpenWAL(filepath.Join(dir, "wal.log"))
+		if err != nil {
+			if gs.snap != nil {
+				gs.snap.Close()
+			}
+			return nil, fmt.Errorf("store: graph %q: %v", meta.Name, err)
+		}
+		gs.wal = wal
+		rg.WALTruncated = truncated
+		if truncated {
+			s.truncatedWALs++
+		}
+		// Skip records already folded into the snapshot (crash between
+		// compaction's meta swap and WAL reset re-reads the full log).
+		gs.lastVersion = meta.SnapshotVersion
+		for _, rec := range records {
+			if rec.Version <= meta.SnapshotVersion {
+				rg.SkippedRecords++
+				continue
+			}
+			rg.Records = append(rg.Records, rec)
+			gs.lastVersion = rec.Version
+		}
+		s.graphs[meta.Name] = gs
+		s.recoveredGraphs++
+		s.replayedBatches += len(rg.Records)
+		out = append(out, rg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Stats snapshots the store gauges. Sizes are taken from the open
+// handles, so the walk is O(graphs) with no filesystem calls. A graph
+// busy with a registration or compaction fold is skipped rather than
+// waited on (TryLock): /metrics must never stall behind a multi-MB
+// snapshot write, and the gauges are sampled anyway.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Dir:             s.dir,
+		Graphs:          len(s.graphs),
+		WALAppends:      s.walAppends.Load(),
+		Compactions:     s.compactions.Load(),
+		RecoveredGraphs: s.recoveredGraphs,
+		ReplayedBatches: s.replayedBatches,
+		TruncatedWALs:   s.truncatedWALs,
+	}
+	for _, gs := range s.graphs {
+		if !gs.mu.TryLock() {
+			continue
+		}
+		if gs.snap != nil {
+			st.Snapshots++
+			st.SnapshotBytes += int64(len(gs.snap.data))
+		}
+		if gs.wal != nil {
+			st.WALBytes += gs.wal.Size()
+			st.WALRecords += gs.wal.Records()
+		}
+		gs.mu.Unlock()
+	}
+	return st
+}
+
+// Close fsyncs and closes every WAL and unmaps every snapshot —
+// including mappings retired by compaction, which served graphs may
+// alias, so Close must only run once no graph is being read anymore
+// (colord calls it after the HTTP server has fully drained).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	graphs := make([]*graphStore, 0, len(s.graphs))
+	for _, gs := range s.graphs {
+		graphs = append(graphs, gs)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, gs := range graphs {
+		gs.mu.Lock() // waits out any in-flight append or compaction fold
+		if gs.wal != nil {
+			if err := gs.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if gs.snap != nil {
+			if err := gs.snap.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, old := range gs.retired {
+			if err := old.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		gs.mu.Unlock()
+	}
+	return first
+}

@@ -1,0 +1,251 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dynamic"
+)
+
+// WAL file layout (format 1, integers little-endian):
+//
+//	header (16 bytes): magic u64 | format u32 | reserved u32
+//	records, back to back:
+//	    length u32 | xxhash64(payload) u64 | payload[length]
+//	payload: version-after-apply u64 | batch (dynamic.Batch codec)
+//
+// Appends are fsync'd before the mutation response leaves the server,
+// so an acknowledged batch survives kill -9. Replay walks records
+// until the first structural or checksum failure and truncates the
+// file there: a torn tail (partial write at crash) is dropped cleanly,
+// never half-applied — which matches the client protocol, because a
+// batch with a torn WAL record was by construction never acknowledged.
+const (
+	walMagic      = uint64(0x31304c41_57435025) // "%PCWAL01" read LE
+	walFormat     = uint32(1)
+	walHeaderSize = 16
+	walRecHeader  = 12
+
+	// walMaxRecord bounds one record's payload; a corrupt length field
+	// must not trigger a giant allocation before the checksum can fail.
+	walMaxRecord = 1 << 28
+)
+
+// WALRecord is one replayed mutation batch: the batch and the graph
+// version the overlay reached after applying it.
+type WALRecord struct {
+	Version uint64
+	Batch   dynamic.Batch
+}
+
+// WAL is an append-only, checksummed log of mutation batches for one
+// graph. Not safe for concurrent use; the service layer appends under
+// the graph entry's mutation lock, which also fixes the record order
+// to the mutation order.
+type WAL struct {
+	f    *os.File
+	path string
+	size int64
+	nRec int64
+	// broken marks a tail that could not be repaired after a failed
+	// append: the bytes past size are unknown, so further appends would
+	// land after garbage and be silently discarded by the next replay's
+	// torn-tail truncation. A successful Reset (compaction folding the
+	// log away) clears it.
+	broken bool
+	closed bool
+}
+
+// OpenWAL opens (creating if absent) the WAL at path, replays every
+// valid record, truncates a torn tail, and leaves the file positioned
+// for appends. The bool result reports whether a torn tail was cut.
+func OpenWAL(path string) (*WAL, []WALRecord, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	w := &WAL{f: f, path: path}
+	records, validSize, truncated, err := replayWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	if truncated {
+		if err := f.Truncate(validSize); err != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("store: truncating torn WAL tail of %s: %v", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	w.size = validSize
+	w.nRec = int64(len(records))
+	return w, records, truncated, nil
+}
+
+// replayWAL reads the whole file and decodes records up to the first
+// invalid byte. It returns the decoded records, the byte offset up to
+// which the file is valid, and whether anything past that offset had
+// to be discarded. A fresh (empty) file is valid and gets its header
+// written by the first append; a file shorter than the header, or one
+// with a wrong magic, is treated as wholly torn.
+func replayWAL(f *os.File) ([]WALRecord, int64, bool, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if len(data) == 0 {
+		return nil, 0, false, nil
+	}
+	if len(data) < walHeaderSize ||
+		binary.LittleEndian.Uint64(data[0:]) != walMagic ||
+		binary.LittleEndian.Uint32(data[8:]) != walFormat {
+		// Unrecognizable header: drop everything rather than guess.
+		return nil, 0, true, nil
+	}
+	var records []WALRecord
+	pos := int64(walHeaderSize)
+	lastVersion := uint64(0)
+	for {
+		rest := data[pos:]
+		if len(rest) == 0 {
+			return records, pos, false, nil
+		}
+		if len(rest) < walRecHeader {
+			return records, pos, true, nil
+		}
+		length := binary.LittleEndian.Uint32(rest[0:])
+		sum := binary.LittleEndian.Uint64(rest[4:])
+		if length < 8 || length > walMaxRecord || int(length) > len(rest)-walRecHeader {
+			return records, pos, true, nil
+		}
+		payload := rest[walRecHeader : walRecHeader+int(length)]
+		if xxhash64(payload, 0) != sum {
+			return records, pos, true, nil
+		}
+		version := binary.LittleEndian.Uint64(payload[0:])
+		batch, err := dynamic.DecodeBatch(payload[8:])
+		if err != nil {
+			// Checksummed but undecodable: corruption the checksum cannot
+			// explain away — stop here like a torn tail, but surface it.
+			return records, pos, true, nil
+		}
+		if version <= lastVersion {
+			// Versions must strictly increase; a regression means the file
+			// was stitched together wrongly. Keep the valid prefix.
+			return records, pos, true, nil
+		}
+		lastVersion = version
+		records = append(records, WALRecord{Version: version, Batch: batch})
+		pos += walRecHeader + int64(length)
+	}
+}
+
+// Append encodes and writes one record and fsyncs the file. version is
+// the overlay version after applying b. On a failed write or fsync the
+// tail is rolled back to the last good record (a partial write must
+// not leave garbage that a later successful append would land behind,
+// where the next replay's torn-tail truncation would silently discard
+// it); if the rollback itself fails the WAL is marked broken and
+// refuses further appends until a Reset succeeds.
+func (w *WAL) Append(version uint64, b dynamic.Batch) error {
+	if w.closed {
+		return fmt.Errorf("store: WAL %s is closed", w.path)
+	}
+	if w.broken {
+		return fmt.Errorf("store: WAL %s has an unrepaired tail", w.path)
+	}
+	if w.size == 0 {
+		var hdr [walHeaderSize]byte
+		binary.LittleEndian.PutUint64(hdr[0:], walMagic)
+		binary.LittleEndian.PutUint32(hdr[8:], walFormat)
+		if _, err := w.f.Write(hdr[:]); err != nil {
+			w.repairTail()
+			return err
+		}
+		w.size = walHeaderSize
+	}
+	payload := make([]byte, 8, 8+64)
+	binary.LittleEndian.PutUint64(payload, version)
+	payload = b.AppendBinary(payload)
+	rec := make([]byte, walRecHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(rec[4:], xxhash64(payload, 0))
+	copy(rec[walRecHeader:], payload)
+	if _, err := w.f.Write(rec); err != nil {
+		w.repairTail()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		// After a failed fsync the durable state of the written bytes is
+		// unknowable; roll them back so the in-memory size stays the
+		// truth about what the file holds.
+		w.repairTail()
+		return err
+	}
+	w.size += int64(len(rec))
+	w.nRec++
+	return nil
+}
+
+// repairTail restores the file to exactly w.size bytes after a failed
+// append, or poisons the WAL when it cannot.
+func (w *WAL) repairTail() {
+	if err := w.f.Truncate(w.size); err != nil {
+		w.broken = true
+		return
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		w.broken = true
+	}
+}
+
+// Size returns the current WAL size in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Records returns how many records the WAL currently holds.
+func (w *WAL) Records() int64 { return w.nRec }
+
+// Reset truncates the log to empty — called after compaction folded
+// its records into a fresh snapshot. A successful reset also heals a
+// broken tail: whatever garbage followed the last good record is gone
+// with everything else.
+func (w *WAL) Reset() error {
+	if w.closed {
+		return fmt.Errorf("store: WAL %s is closed", w.path)
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = 0
+	w.nRec = 0
+	w.broken = false
+	return nil
+}
+
+// Close fsyncs and closes the file. Further appends fail.
+func (w *WAL) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,309 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+func testBatches() []dynamic.Batch {
+	return []dynamic.Batch{
+		{AddEdges: []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}},
+		{DelEdges: []graph.Edge{{U: 0, V: 1}}, AddVertices: 2},
+		{DelVertices: []uint32{3}, AddEdges: []graph.Edge{{U: 1, V: 4}}},
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || truncated {
+		t.Fatalf("fresh WAL: %d records, truncated=%v", len(recs), truncated)
+	}
+	batches := testBatches()
+	for i, b := range batches {
+		if err := w.Append(uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != int64(len(batches)) {
+		t.Fatalf("Records() = %d, want %d", w.Records(), len(batches))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if truncated {
+		t.Fatal("clean WAL reported truncated")
+	}
+	if len(recs) != len(batches) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(batches))
+	}
+	for i, rec := range recs {
+		if rec.Version != uint64(i+1) {
+			t.Fatalf("record %d version %d, want %d", i, rec.Version, i+1)
+		}
+		if !reflect.DeepEqual(rec.Batch, batches[i]) {
+			t.Fatalf("record %d batch %+v, want %+v", i, rec.Batch, batches[i])
+		}
+	}
+	// Appends continue after a reopen.
+	if err := w2.Append(4, dynamic.Batch{AddVertices: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALTornTail truncates a healthy WAL at every byte length and
+// reopens it: the valid record prefix must always replay, the torn
+// tail must be cut (reopen reports it), and a second reopen must be
+// clean — truncation repaired the file on disk.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches()
+	var sizes []int64 // file size after each append
+	for i, b := range batches {
+		if err := w.Append(uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, w.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		torn := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w1, recs, truncated, err := OpenWAL(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// The replayed prefix must be exactly the records whose bytes
+		// fully fit below the cut.
+		want := 0
+		for i, sz := range sizes {
+			if int64(cut) >= sz {
+				want = i + 1
+			}
+		}
+		if len(recs) != want {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), want)
+		}
+		for i, rec := range recs {
+			if !reflect.DeepEqual(rec.Batch, batches[i]) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+		// The file is exactly valid at 0 bytes (fresh), at a bare header,
+		// and at every record boundary; anything else is a torn tail.
+		valid := cut == 0 || int64(cut) == walHeaderSize ||
+			(want > 0 && int64(cut) == sizes[want-1])
+		wantTrunc := !valid
+		if truncated != wantTrunc {
+			t.Fatalf("cut %d: truncated=%v, want %v", cut, truncated, wantTrunc)
+		}
+		if err := w1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Second open: the tail was already cut, so it must be clean.
+		w2, recs2, truncated2, err := OpenWAL(torn)
+		if err != nil {
+			t.Fatalf("cut %d reopen: %v", cut, err)
+		}
+		if truncated2 || len(recs2) != want {
+			t.Fatalf("cut %d reopen: %d records truncated=%v, want %d records clean",
+				cut, len(recs2), truncated2, want)
+		}
+		w2.Close()
+		os.Remove(torn)
+	}
+}
+
+// TestWALCorruptRecord flips bytes inside a committed record: replay
+// must stop before the corrupt record and truncate, keeping the valid
+// prefix.
+func TestWALCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstEnd int64
+	for i, b := range testBatches() {
+		if err := w.Append(uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstEnd = w.Size()
+		}
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte of the second record.
+	data[firstEnd+walRecHeader] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !truncated || len(recs) != 1 {
+		t.Fatalf("corrupt record: %d records truncated=%v, want 1 record truncated", len(recs), truncated)
+	}
+	if w2.Size() != firstEnd {
+		t.Fatalf("file truncated to %d, want %d", w2.Size(), firstEnd)
+	}
+}
+
+// TestWALBadHeader: an unrecognizable header drops the whole file.
+func TestWALBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("definitely not a WAL header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(recs) != 0 || !truncated {
+		t.Fatalf("bad header: %d records truncated=%v", len(recs), truncated)
+	}
+	// And the file is now usable for appends.
+	if err := w.Append(1, dynamic.Batch{AddVertices: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALVersionRegression: records whose versions do not strictly
+// increase are cut at the regression point.
+func TestWALVersionRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, dynamic.Batch{AddVertices: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, dynamic.Batch{AddVertices: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 || !truncated {
+		t.Fatalf("version regression: %d records truncated=%v, want 1 truncated", len(recs), truncated)
+	}
+}
+
+// TestWALAppendFailureRepair: when an append's write fails, the tail
+// repair either restores the file to the last good record or poisons
+// the WAL so no later append can land behind garbage. Closing the
+// underlying descriptor out from under the WAL makes both the write
+// and the repair fail — the poisoned path.
+func TestWALAppendFailureRepair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, dynamic.Batch{AddVertices: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // simulate the disk going away
+	if err := w.Append(2, dynamic.Batch{AddVertices: 1}); err == nil {
+		t.Fatal("append on a dead descriptor succeeded")
+	}
+	// Poisoned: the failure mode is sticky until a Reset succeeds.
+	if err := w.Append(3, dynamic.Batch{AddVertices: 1}); err == nil {
+		t.Fatal("append on a poisoned WAL succeeded")
+	}
+	if err := w.Reset(); err == nil {
+		t.Fatal("reset on a dead descriptor succeeded")
+	}
+	// The on-disk file still holds exactly the acknowledged record.
+	w2, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if truncated || len(recs) != 1 || recs[0].Version != 1 {
+		t.Fatalf("post-failure file: %d records truncated=%v", len(recs), truncated)
+	}
+}
+
+func TestWALResetAndClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, dynamic.Batch{AddVertices: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() == 0 {
+		t.Fatal("size 0 after append")
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 || w.Records() != 0 {
+		t.Fatalf("after reset: size %d records %d", w.Size(), w.Records())
+	}
+	// Appends restart the header.
+	if err := w.Append(7, dynamic.Batch{AddVertices: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Append(8, dynamic.Batch{}); err == nil {
+		t.Fatal("append on closed WAL succeeded")
+	}
+	if err := w.Reset(); err == nil {
+		t.Fatal("reset on closed WAL succeeded")
+	}
+	if err := w.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+	// Records after reset replay from the fresh header.
+	w2, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if truncated || len(recs) != 1 || recs[0].Version != 7 {
+		t.Fatalf("post-reset replay: %d records truncated=%v", len(recs), truncated)
+	}
+}
