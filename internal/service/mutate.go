@@ -84,7 +84,8 @@ type MutateOutcome struct {
 	Colors        []uint32
 	// Persisted reports whether this batch is durably logged (true for
 	// a no-op batch under a healthy persist hook — nothing needed
-	// logging; false when the hook is absent or degraded).
+	// logging; false when the hook is absent or persistence is
+	// degraded, version change or not).
 	Persisted bool
 }
 
@@ -117,8 +118,10 @@ func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool, persist func(ve
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	// A no-op batch (version unchanged) needs no record: it is exactly
-	// as durable as the state it left alone.
-	persisted := persist != nil
+	// as durable as the state it left alone — which, under degraded
+	// persistence, is NOT durable (earlier acked batches went unlogged),
+	// so the degraded flag decides when the hook isn't consulted.
+	persisted := persist != nil && !e.persistBroken.Load()
 	if persist != nil && res.Version != versionBefore {
 		persisted = persist(res.Version, b)
 	}

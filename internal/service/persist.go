@@ -267,6 +267,18 @@ func (s *Server) compactGraph(name string) (bool, error) {
 		s.persistErrors.Add(1)
 		return false, err
 	}
+	// Nothing to fold: the durable snapshot already captures this exact
+	// version AND the WAL is empty (typical for a repeated
+	// /v1/admin/compact before a planned restart), so skip the snapshot
+	// rewrite entirely. A non-empty WAL at the same version (crash
+	// between a commit's meta swap and WAL reset) still gets folded so
+	// its stale bytes are reclaimed. Only when persistence is healthy —
+	// degraded mode means in-memory state ran ahead of the log, and
+	// versions never decrease, so the versions can't be equal then
+	// anyway; the check keeps the self-heal path conservative.
+	if sv, nrec, svErr := s.st.FoldState(name); svErr == nil && sv == version && nrec == 0 && !e.persistBroken.Load() {
+		return true, nil
+	}
 
 	pending, err := s.st.BeginCompact(name, g, colors, version)
 	if err != nil {
@@ -347,7 +359,11 @@ type adminCompactResponse struct {
 	// lists graphs whose fold did not land this time (a concurrent
 	// compaction was mid-write, or mutations kept advancing the version
 	// during the snapshot write) — re-POST to retry.
-	Compacted []string    `json:"compacted"`
-	Skipped   []string    `json:"skipped,omitempty"`
-	Store     store.Stats `json:"store"`
+	Compacted []string `json:"compacted"`
+	Skipped   []string `json:"skipped,omitempty"`
+	// Failed maps graphs whose compaction errored to the error text.
+	// Compact-all returns 200 with the full per-graph outcome rather
+	// than aborting on the first failure and discarding what folded.
+	Failed map[string]string `json:"failed,omitempty"`
+	Store  store.Stats       `json:"store"`
 }

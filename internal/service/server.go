@@ -437,13 +437,23 @@ func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 			continue // enumerated graph that never became durable
 		}
 		folded, err := s.compactGraph(name)
-		if err != nil {
-			writeError(w, fmt.Errorf("compacting %q: %w", name, err))
-			return
-		}
-		if folded {
+		switch {
+		case err != nil:
+			// A single named graph keeps the plain error response; in
+			// compact-all mode one bad graph must not discard the outcome
+			// of the graphs already folded — the operator needs the full
+			// per-graph picture before a planned restart.
+			if req.Graph != "" {
+				writeError(w, fmt.Errorf("compacting %q: %w", name, err))
+				return
+			}
+			if resp.Failed == nil {
+				resp.Failed = make(map[string]string)
+			}
+			resp.Failed[name] = err.Error()
+		case folded:
 			resp.Compacted = append(resp.Compacted, name)
-		} else {
+		default:
 			resp.Skipped = append(resp.Skipped, name)
 		}
 	}

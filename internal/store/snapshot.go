@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"unsafe"
 
 	"repro/internal/graph"
@@ -269,7 +270,14 @@ func WriteSnapshotFile(path string, g *graph.Graph, colors []uint32, graphVersio
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives a crash.
+// On Windows (the mmap-fallback tier) directory handles reject
+// FlushFileBuffers, so it is a no-op there — rename durability is
+// best-effort, strictly better than failing every Register/compaction
+// and pinning the daemon in degraded mode.
 func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -156,16 +157,19 @@ func Open(opts Options) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 // dirName maps a graph name to a filesystem-safe directory name:
-// names made of [A-Za-z0-9._-] keep their spelling under a "g-"
-// prefix, everything else is hex-encoded under "x-". Injective, so
-// distinct graphs can never share a directory; the authoritative name
-// lives in meta.json either way.
+// names made of [a-z0-9._-] keep their spelling under a "g-" prefix,
+// everything else is hex-encoded under "x-". Injective even on
+// case-insensitive filesystems (darwin is a supported mmap target):
+// the safe set has no uppercase and hex encoding is lowercase, so two
+// distinct names can never case-fold onto the same directory — which
+// would silently overwrite one graph's meta and interleave two WALs in
+// one file. The authoritative name lives in meta.json either way.
 func dirName(name string) string {
 	safe := len(name) > 0 && len(name) <= 64
 	for i := 0; safe && i < len(name); i++ {
 		c := name[i]
 		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9',
 			c == '.', c == '_', c == '-':
 		default:
 			safe = false
@@ -292,6 +296,26 @@ func (s *Store) Has(name string) bool {
 	return ok
 }
 
+// FoldState reports name's durable fold state: the graph version its
+// current snapshot captures (0 when it has none yet) and how many
+// records its WAL holds. The compaction path skips a fold only when
+// the in-memory version equals the snapshot version AND the WAL is
+// empty — a leftover WAL whose records are all folded already (crash
+// between a commit's meta swap and WAL reset) still wants a fold to
+// reclaim its bytes and stop every boot re-reading stale records.
+func (s *Store) FoldState(name string) (snapVersion uint64, walRecords int64, err error) {
+	gs, err := s.lookup(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal != nil {
+		walRecords = gs.wal.Records()
+	}
+	return gs.meta.SnapshotVersion, walRecords, nil
+}
+
 // AppendBatch durably logs one applied mutation batch. version is the
 // graph version after the batch. The second result asks the caller to
 // schedule a compaction (WAL past the size threshold). The service
@@ -333,13 +357,23 @@ func (s *Store) lookup(name string) (*graphStore, error) {
 	return gs, nil
 }
 
-// PendingCompact is a compaction whose snapshot file is written but
-// not yet adopted. Built by BeginCompact (slow disk work, no locks the
-// serving path cares about), finished by Commit (fast meta swap + WAL
-// reset) or Abort. The split lets the service layer capture graph
-// state, write the snapshot with mutations flowing, and take the
-// entry's mutation lock only for the commit — after re-checking that
-// no batch advanced the version past what the snapshot captures.
+// pendingSuffix marks a compaction snapshot that is written but not
+// yet adopted. The suffix keeps the pending file's name disjoint from
+// every adoptable snapshot name, so Abort can never remove the live
+// snapshot meta.json points at (a re-fold of an already-folded version
+// would otherwise write — and on abort delete — the very file the data
+// directory boots from). Recover sweeps stray pending files left by a
+// crash mid-compaction.
+const pendingSuffix = ".pending"
+
+// PendingCompact is a compaction whose snapshot file is written (under
+// a .pending name) but not yet adopted. Built by BeginCompact (slow
+// disk work, no locks the serving path cares about), finished by
+// Commit (rename into place + fast meta swap + WAL reset) or Abort.
+// The split lets the service layer capture graph state, write the
+// snapshot with mutations flowing, and take the entry's mutation lock
+// only for the commit — after re-checking that no batch advanced the
+// version past what the snapshot captures.
 type PendingCompact struct {
 	s        *Store
 	gs       *graphStore
@@ -349,40 +383,65 @@ type PendingCompact struct {
 }
 
 // BeginCompact writes g (the graph at version, with its maintained
-// coloring) as a snapshot file for name and returns the pending
-// handle. Nothing is adopted yet; a crash here leaves only a stray
-// file the next compaction overwrites.
+// coloring) as a pending snapshot file for name and returns the
+// pending handle. Nothing is adopted yet; a crash here leaves only a
+// stray .pending file Recover sweeps.
 func (s *Store) BeginCompact(name string, g *graph.Graph, colors []uint32, version uint64) (*PendingCompact, error) {
 	gs, err := s.lookup(name)
 	if err != nil {
 		return nil, err
 	}
 	snapName := fmt.Sprintf("snapshot-%d.pcs", version)
-	if _, err := WriteSnapshotFile(filepath.Join(gs.dir, snapName), g, colors, version); err != nil {
+	if _, err := WriteSnapshotFile(filepath.Join(gs.dir, snapName+pendingSuffix), g, colors, version); err != nil {
 		return nil, err
 	}
 	return &PendingCompact{s: s, gs: gs, name: name, snapName: snapName, version: version}, nil
 }
 
-// Abort discards the written snapshot file.
+// Abort discards the pending snapshot file. The adopted snapshot is
+// untouchable by construction: the pending name always carries the
+// .pending suffix, which no meta.json ever references.
 func (p *PendingCompact) Abort() {
-	_ = os.Remove(filepath.Join(p.gs.dir, p.snapName))
+	_ = os.Remove(filepath.Join(p.gs.dir, p.snapName+pendingSuffix))
 }
 
-// Commit adopts the pending snapshot: point meta at it, reset the WAL
-// and delete the superseded snapshot file. The caller must guarantee
-// no batch with version > p.version has been applied or appended (the
-// service layer holds the entry's mutation lock across the version
-// re-check and this call). Crash-safe at every point: the
-// snapshot-then-meta-then-reset order means recovery sees either the
-// old (snapshot, full WAL) pair or the new (snapshot, WAL suffix)
-// pair, with already-folded records skipped by version.
+// Commit adopts the pending snapshot: rename it to its final name,
+// point meta at it, reset the WAL and delete the superseded snapshot
+// file. The caller must guarantee no batch with version > p.version
+// has been applied or appended (the service layer holds the entry's
+// mutation lock across the version re-check and this call). Crash-safe
+// at every point: the rename-then-meta-then-reset order (each fenced
+// by a directory fsync) means recovery sees either the old (snapshot,
+// full WAL) pair or the new (snapshot, WAL suffix) pair, with
+// already-folded records skipped by version. When the final name
+// equals the live snapshot's (re-folding an already-folded version),
+// the rename atomically replaces it with an equally valid snapshot of
+// the same version, so there is no window without a bootable file.
 func (p *PendingCompact) Commit() error {
 	gs := p.gs
 	gs.mu.Lock()
 	defer gs.mu.Unlock()
 	if gs.wal == nil {
 		return fmt.Errorf("store: graph %q not persisted", p.name)
+	}
+	finalPath := filepath.Join(gs.dir, p.snapName)
+	if err := os.Rename(filepath.Join(gs.dir, p.snapName+pendingSuffix), finalPath); err != nil {
+		return err
+	}
+	// Fence: the snapshot's directory entry must be durable before
+	// meta.json can reference it (writeMeta's own dir fsync would cover
+	// both renames, but not their order on a crash in between).
+	//
+	// On any failure from here on, the renamed file is NOT removed,
+	// even though it is probably unadopted: a previous Commit's
+	// writeMeta may have failed after its meta.json rename landed on
+	// disk, leaving the in-memory gs.meta stale — so "p.snapName !=
+	// gs.meta.Snapshot" cannot prove the file is unreferenced, and
+	// deleting a referenced snapshot makes the directory unbootable.
+	// The boot-time sweep, which decides from the on-disk meta.json
+	// (the only safe authority), reclaims truly orphaned files.
+	if err := syncDir(gs.dir); err != nil {
+		return err
 	}
 	oldSnap := gs.meta.Snapshot
 	newMeta := gs.meta
@@ -453,8 +512,18 @@ func (s *Store) Recover() ([]RecoveredGraph, error) {
 		data, err := os.ReadFile(metaPath)
 		if err != nil {
 			if os.IsNotExist(err) {
-				// A crash between MkdirAll and writeMeta leaves an empty
-				// directory: nothing was acknowledged, drop it.
+				// A crash before writeMeta leaves a directory without
+				// meta.json: nothing in it was ever acknowledged, so the
+				// whole directory is debris — including a potentially huge
+				// snapshot-0.pcs (or its .snap-* temp) from an upload
+				// registration that died mid-write. Remove it; a re-register
+				// of the name rebuilds everything. Only dirs the store
+				// itself names (dirName's g-/x- prefixes) are touched —
+				// anything else under graphs/ (lost+found, an operator's
+				// scratch dir) is skipped, never deleted.
+				if name := ent.Name(); strings.HasPrefix(name, "g-") || strings.HasPrefix(name, "x-") {
+					_ = os.RemoveAll(dir)
+				}
 				continue
 			}
 			return nil, err
@@ -468,6 +537,28 @@ func (s *Store) Recover() ([]RecoveredGraph, error) {
 		}
 		if _, dup := s.graphs[meta.Name]; dup {
 			return nil, fmt.Errorf("store: graph %q recovered twice", meta.Name)
+		}
+		// Sweep crash debris: .pending leftovers from a crash between
+		// BeginCompact and Commit, final-named snapshots a crash (or
+		// failed meta write) left unreferenced by meta.json, and the
+		// .snap-*/.meta-* CreateTemp files a kill mid-write strands
+		// (the .snap-* window — a potentially multi-hundred-MB snapshot
+		// write — is the longest). None was ever adopted, so all are
+		// dead weight that would otherwise survive every restart. Plain
+		// ReadDir + name match — no globbing, since the operator's data
+		// directory may legally contain glob metacharacters.
+		if files, err := os.ReadDir(dir); err == nil {
+			for _, fe := range files {
+				fn := fe.Name()
+				if fe.IsDir() || fn == meta.Snapshot {
+					continue
+				}
+				if strings.HasSuffix(fn, pendingSuffix) ||
+					(strings.HasPrefix(fn, "snapshot-") && strings.HasSuffix(fn, ".pcs")) ||
+					strings.HasPrefix(fn, ".snap-") || strings.HasPrefix(fn, ".meta-") {
+					_ = os.Remove(filepath.Join(dir, fn))
+				}
+			}
 		}
 		gs := &graphStore{dir: dir, meta: meta}
 		rg := RecoveredGraph{Name: meta.Name, Spec: meta.Spec, SnapshotVersion: meta.SnapshotVersion}

@@ -13,7 +13,8 @@ import (
 func TestDirName(t *testing.T) {
 	cases := map[string]string{
 		"kron12":    "g-kron12",
-		"a.b_c-D9":  "g-a.b_c-D9",
+		"a.b_c-9":   "g-a.b_c-9",
+		"a.b_c-D9":  "x-" + "612e625f632d4439", // uppercase is unsafe: case-folding FS
 		"":          "x-",
 		"has space": "x-" + "686173207370616365",
 		"g-foo":     "g-g-foo",
@@ -32,6 +33,17 @@ func TestDirName(t *testing.T) {
 	// graph literally named with the prefix.
 	if dirName("foo") == dirName("g-foo") {
 		t.Error("dirName collides on prefix")
+	}
+	// Injectivity under case folding: on a case-insensitive filesystem
+	// "Foo" and "foo" must not resolve to the same directory (they would
+	// share one wal.log and clobber each other's meta.json). The safe
+	// set is lowercase-only and hex encoding emits lowercase, so no two
+	// distinct names may map to case-fold-equal directories.
+	for _, pair := range [][2]string{{"Foo", "foo"}, {"KRON12", "kron12"}, {"A b", "a b"}} {
+		if strings.EqualFold(dirName(pair[0]), dirName(pair[1])) {
+			t.Errorf("dirName(%q)=%q case-folds onto dirName(%q)=%q",
+				pair[0], dirName(pair[0]), pair[1], dirName(pair[1]))
+		}
 	}
 }
 
@@ -199,9 +211,14 @@ func TestBeginCompactAbort(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pendingFile := filepath.Join(dir, "graphs", "g-m", "snapshot-1.pcs")
+	pendingFile := filepath.Join(dir, "graphs", "g-m", "snapshot-1.pcs"+pendingSuffix)
 	if _, err := os.Stat(pendingFile); err != nil {
 		t.Fatal("pending snapshot file missing")
+	}
+	// Until Commit, the adoptable name must not exist: a pending fold
+	// never shadows (or, on abort, deletes) a bootable snapshot.
+	if _, err := os.Stat(filepath.Join(dir, "graphs", "g-m", "snapshot-1.pcs")); !os.IsNotExist(err) {
+		t.Fatal("pending snapshot occupies the final name before Commit")
 	}
 	p.Abort()
 	if _, err := os.Stat(pendingFile); !os.IsNotExist(err) {
@@ -213,6 +230,148 @@ func TestBeginCompactAbort(t *testing.T) {
 	// The WAL trail is unaffected: version 2 is next.
 	if _, err := st.AppendBatch("m", 2, dynamic.Batch{AddEdges: []graph.Edge{{U: 1, V: 6}}}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAbortKeepsLiveSnapshot is the regression for the unbootable-dir
+// bug: re-compacting an already-folded version and aborting must leave
+// the snapshot meta.json references on disk, and the directory must
+// still recover. (Pre-fix, BeginCompact renamed its output over
+// snapshot-V.pcs and Abort os.Remove'd it — the live file.)
+func TestAbortKeepsLiveSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t)
+	if err := st.Register("m", "upload:edgelist", g, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendBatch("m", 1, dynamic.Batch{AddEdges: []graph.Edge{{U: 0, V: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact("m", g, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	live := filepath.Join(dir, "graphs", "g-m", "snapshot-1.pcs")
+	if _, err := os.Stat(live); err != nil {
+		t.Fatalf("live snapshot missing after compaction: %v", err)
+	}
+	// Second fold of the same version, aborted (a batch "slipped in").
+	p, err := st.BeginCompact("m", g, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Abort()
+	if _, err := os.Stat(live); err != nil {
+		t.Fatalf("abort deleted the live snapshot meta.json references: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The directory must still boot.
+	st2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("data dir unbootable after aborted re-fold: %v", err)
+	}
+	if len(recovered) != 1 || recovered[0].SnapshotVersion != 1 {
+		t.Fatalf("recovered %+v, want one graph at snapshot version 1", recovered)
+	}
+}
+
+// TestRecoverSweepsPendingSnapshots: a crash between BeginCompact and
+// Commit leaves a .pending file; Recover removes it and boots from the
+// adopted state.
+func TestRecoverSweepsPendingSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t)
+	if err := st.Register("m", "upload:edgelist", g, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendBatch("m", 1, dynamic.Batch{AddEdges: []graph.Edge{{U: 0, V: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.BeginCompact("m", g, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // "crash" with the pending file on disk
+		t.Fatal(err)
+	}
+	pending := filepath.Join(dir, "graphs", "g-m", "snapshot-1.pcs"+pendingSuffix)
+	if _, err := os.Stat(pending); err != nil {
+		t.Fatalf("pending file not on disk before recovery: %v", err)
+	}
+	// A final-named snapshot meta.json doesn't reference (crash between
+	// Commit's rename and meta write) is equally dead weight.
+	orphan := filepath.Join(dir, "graphs", "g-m", "snapshot-9.pcs")
+	if _, err := WriteSnapshotFile(orphan, g, nil, 9); err != nil {
+		t.Fatal(err)
+	}
+	// So are the CreateTemp files a kill mid-write strands.
+	snapTemp := filepath.Join(dir, "graphs", "g-m", ".snap-123456")
+	metaTemp := filepath.Join(dir, "graphs", "g-m", ".meta-123456")
+	for _, p := range []string{snapTemp, metaTemp} {
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A whole directory without meta.json (registration died before the
+	// meta write) was never acknowledged at all: removed outright.
+	deadDir := filepath.Join(dir, "graphs", "g-dead")
+	if err := os.MkdirAll(deadDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshotFile(filepath.Join(deadDir, "snapshot-0.pcs"), g, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A meta-less directory the store did not name is foreign data:
+	// skipped, never deleted.
+	foreignDir := filepath.Join(dir, "graphs", "lost+found")
+	if err := os.MkdirAll(foreignDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || len(recovered[0].Records) != 1 {
+		t.Fatalf("recovered %+v, want one graph with its one WAL record", recovered)
+	}
+	if _, err := os.Stat(pending); !os.IsNotExist(err) {
+		t.Fatal("Recover left the stray pending snapshot behind")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("Recover left the unreferenced final-name snapshot behind")
+	}
+	for _, p := range []string{snapTemp, metaTemp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("Recover left crash temp %s behind", p)
+		}
+	}
+	if _, err := os.Stat(deadDir); !os.IsNotExist(err) {
+		t.Fatal("Recover left the meta-less registration debris directory behind")
+	}
+	if _, err := os.Stat(foreignDir); err != nil {
+		t.Fatalf("Recover deleted a foreign directory under graphs/: %v", err)
+	}
+	// The referenced snapshot itself survived the sweep.
+	if _, err := os.Stat(filepath.Join(dir, "graphs", "g-m", "snapshot-0.pcs")); err != nil {
+		t.Fatalf("sweep removed the live snapshot: %v", err)
 	}
 }
 

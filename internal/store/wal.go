@@ -176,6 +176,15 @@ func (w *WAL) Append(version uint64, b dynamic.Batch) error {
 	payload := make([]byte, 8, 8+64)
 	binary.LittleEndian.PutUint64(payload, version)
 	payload = b.AppendBinary(payload)
+	if len(payload) > walMaxRecord {
+		// replayWAL treats any record longer than walMaxRecord as a torn
+		// tail, so writing one would be acked now and silently discarded
+		// (with every later record) on the next recovery. Refuse instead:
+		// the caller acks the batch as non-durable and self-heals by
+		// compaction, which needs no WAL record at all.
+		return fmt.Errorf("store: WAL %s: batch encodes to %d bytes, past the %d-byte record cap",
+			w.path, len(payload), walMaxRecord)
+	}
 	rec := make([]byte, walRecHeader+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(rec[4:], xxhash64(payload, 0))
