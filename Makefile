@@ -3,7 +3,7 @@
 # in .github/workflows/ci.yml (TestMakefileMatchesWorkflow enforces it),
 # so local `make ci` and the workflow can never drift.
 
-.PHONY: ci fmt vet build test race bench json loadtest crashtest fuzz-smoke cover
+.PHONY: ci fmt vet build test race bench json loadtest crashtest clustertest fuzz-smoke cover
 
 ci: fmt vet build test race
 
@@ -20,7 +20,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/par/... ./internal/jp/... ./internal/service/...
+	go test -race ./internal/par/... ./internal/jp/... ./internal/service/... ./internal/cluster/...
 
 bench:
 	go test -run '^$$' -bench 'BenchmarkTable2Orderings|BenchmarkJP' -benchtime 3x .
@@ -44,6 +44,14 @@ loadtest:
 # SIGTERM (drain + WAL flush) and a reboot from the compacted snapshot.
 crashtest:
 	./scripts/crashtest.sh
+
+# clustertest is the scale-out gate: a 3-node colord cluster driven
+# through a non-owner node, kill -9 of the target graph's primary
+# mid-run (failover must lose zero acked mutations — verified by
+# colorload -resume against its journal), then a restart of the old
+# primary that must catch up to the replication watermark and rejoin.
+clustertest:
+	./scripts/clustertest.sh
 
 # fuzz-smoke gives each fuzz target a short budget (the CI gate; seed
 # corpora live in internal/graphio/testdata/fuzz and

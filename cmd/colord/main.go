@@ -88,6 +88,32 @@
 // /metrics carries the snapshot/WAL byte and record gauges plus
 // append, compaction and recovery counters. On SIGTERM the daemon
 // drains inflight jobs, fsyncs every WAL and exits cleanly.
+//
+// # Clustering
+//
+// With -cluster-self and -cluster-peers the daemon is one member of a
+// sharded multi-node service: every graph is placed on a primary plus
+// R-1 replicas by rendezvous hashing over the static member list (any
+// node computes ownership locally — no coordinator), requests for
+// graphs a node does not own are transparently proxied to the active
+// primary, applied mutation batches are streamed to the replicas
+// before the client ack (kill -9 of a primary loses no batch that was
+// acknowledged while a replica was reachable — the mutate response's
+// "replicated" field counts the durable acks), and when a primary is
+// probed down the next node in
+// rendezvous order promotes itself, catching up from a peer's WAL
+// tail before accepting writes:
+//
+//	colord -addr 127.0.0.1:8712 -data-dir /var/lib/colord-1 \
+//	       -cluster-self http://127.0.0.1:8712 \
+//	       -cluster-peers http://127.0.0.1:8712,http://127.0.0.1:8713,http://127.0.0.1:8714
+//
+// Every node wants its own -data-dir: replication appends to the
+// replica's WAL before acking, and catch-up serves peers straight
+// from it. Inspect membership, per-graph placement, roles and
+// replication watermarks via:
+//
+//	curl -s localhost:8712/v1/cluster/status
 package main
 
 import (
@@ -101,6 +127,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -114,6 +141,13 @@ func main() {
 		preload = flag.String("preload", "", "comma-separated name=spec graphs to register at startup (e.g. kron12=kron:12)")
 		dataDir = flag.String("data-dir", "", "data directory for durable graphs + mutation WALs (empty: memory-only)")
 		compact = flag.Int64("compact-bytes", store.DefaultCompactBytes, "WAL size that triggers background compaction into a snapshot")
+
+		clusterSelf  = flag.String("cluster-self", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8712); enables clustering together with -cluster-peers")
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated base URLs of every cluster member (self is added if absent)")
+		clusterRepl  = flag.Int("cluster-replicas", 2, "placement set size per graph: primary + N-1 replicas (clamped to the member count)")
+		probeIvl     = flag.Duration("cluster-probe-interval", cluster.DefaultProbeInterval, "liveness probe period")
+		failAfter    = flag.Int("cluster-fail-after", cluster.DefaultFailAfter, "consecutive probe/transport failures before a peer is marked down")
+		replTimeout  = flag.Duration("cluster-replication-timeout", service.DefaultReplicationTimeout, "per-replica timeout of one synchronous replication call")
 	)
 	flag.Parse()
 
@@ -136,6 +170,34 @@ func main() {
 		}
 		fmt.Printf("colord: recovered %d graphs from %s in %.3fs (%d mmap snapshots, %d spec rebuilds, %d WAL batches replayed, %d torn tails truncated)\n",
 			rec.Graphs, *dataDir, rec.Seconds, rec.SnapshotLoads, rec.SpecRebuilds, rec.ReplayedBatches, rec.TruncatedWALs)
+	}
+	var clu *cluster.Cluster
+	if *clusterSelf != "" || *clusterPeers != "" {
+		if *clusterSelf == "" {
+			fmt.Fprintln(os.Stderr, "colord: -cluster-peers needs -cluster-self (this node's base URL)")
+			os.Exit(2)
+		}
+		var peers []string
+		if *clusterPeers != "" {
+			peers = strings.Split(*clusterPeers, ",")
+		}
+		c, err := cluster.New(cluster.Config{
+			Self:          *clusterSelf,
+			Peers:         peers,
+			Replicas:      *clusterRepl,
+			ProbeInterval: *probeIvl,
+			FailAfter:     *failAfter,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colord: %v\n", err)
+			os.Exit(2)
+		}
+		clu = c
+		srv.AttachCluster(c, *replTimeout)
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "colord: warning: clustering without -data-dir — this node cannot serve WAL tails to peers catching up")
+		}
+		fmt.Printf("colord: cluster member %s of %d nodes (replicas %d)\n", c.Self(), len(c.Nodes()), c.Replicas())
 	}
 	if *preload != "" {
 		for _, pair := range strings.Split(*preload, ",") {
@@ -164,6 +226,10 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("colord: listening on %s\n", *addr)
+	if clu != nil {
+		clu.Start() // probe peers only once we can answer their probes
+		defer clu.Stop()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -22,7 +22,7 @@
 //
 // Usage:
 //
-//	colorload [-addr http://127.0.0.1:8712] [-graph kron12]
+//	colorload [-addr http://127.0.0.1:8712[,http://other:8712...]] [-graph kron12]
 //	          [-spec kron:12] [-algos JP-ADG,DEC-ADG-ITR] [-seeds 4]
 //	          [-c 8] [-n 200] [-eps 0.01] [-verify]
 //	          [-mutate-frac 0.2] [-mutate-batch 8]
@@ -73,9 +73,25 @@ import (
 	"repro/internal/xrand"
 )
 
+// client fans requests over one or more colord base URLs round-robin.
+// Against a cluster every endpoint answers every request — non-owners
+// proxy to the graph's active primary — so spreading the key space
+// across nodes both load-balances and continuously exercises the
+// routing layer; the determinism check below then doubles as a
+// cross-node consistency check (two nodes answering the same
+// (graph, version, algo, seed, eps) key must return identical
+// colorings, whichever path served them).
 type client struct {
-	base string
-	http *http.Client
+	endpoints []string
+	rr        atomic.Uint64
+	http      *http.Client
+}
+
+func (c *client) base() string {
+	if len(c.endpoints) == 1 {
+		return c.endpoints[0]
+	}
+	return c.endpoints[int(c.rr.Add(1))%len(c.endpoints)]
 }
 
 func (c *client) postJSON(path string, req, resp interface{}) (int, error) {
@@ -83,7 +99,7 @@ func (c *client) postJSON(path string, req, resp interface{}) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	r, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
+	r, err := c.http.Post(c.base()+path, "application/json", bytes.NewReader(data))
 	if err != nil {
 		return 0, err
 	}
@@ -391,7 +407,17 @@ func main() {
 		}
 	}
 
-	cl := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: 120 * time.Second}}
+	var endpoints []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimRight(strings.TrimSpace(a), "/"); a != "" {
+			endpoints = append(endpoints, a)
+		}
+	}
+	if len(endpoints) == 0 {
+		fmt.Fprintln(os.Stderr, "colorload: -addr must name at least one endpoint")
+		os.Exit(2)
+	}
+	cl := &client{endpoints: endpoints, http: &http.Client{Timeout: 120 * time.Second}}
 
 	// Register the graph (idempotent for equal specs).
 	var info struct {
@@ -404,7 +430,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("colorload: target %s graph %s (%s): n=%d m=%d version=%d\n",
-		cl.base, *name, *spec, info.N, info.M, info.Version)
+		strings.Join(cl.endpoints, ","), *name, *spec, info.N, info.M, info.Version)
 
 	// Local replica for verification and the replayed mutation log.
 	if *resume && *mutLog == "" {
@@ -610,7 +636,7 @@ func main() {
 	fmt.Printf("colorload: client-observed cache hits %d, coalesced %d\n", cachedHit.Load(), coalesced.Load())
 
 	// Server-side view.
-	mresp, err := cl.http.Get(cl.base + "/metrics")
+	mresp, err := cl.http.Get(cl.endpoints[0] + "/metrics")
 	if err == nil {
 		defer mresp.Body.Close()
 		var m service.Metrics

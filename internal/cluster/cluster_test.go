@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty Self accepted")
+	}
+	if _, err := New(Config{Self: "http://a", Peers: []string{"not-a-url"}}); err == nil {
+		t.Fatal("non-http peer accepted")
+	}
+	if _, err := New(Config{Self: "http://a", Peers: []string{"http://b", ""}}); err == nil {
+		t.Fatal("empty peer accepted")
+	}
+	// Self is added when absent, duplicates and trailing slashes collapse.
+	c := mustNew(t, Config{Self: "http://a/", Peers: []string{"http://b", "http://b/", "http://c"}})
+	nodes := c.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %v, want a,b,c", nodes)
+	}
+	if c.Self() != "http://a" {
+		t.Fatalf("self = %q", c.Self())
+	}
+	// Replicas clamps to the member count.
+	c = mustNew(t, Config{Self: "http://a", Peers: []string{"http://b"}, Replicas: 9})
+	if c.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want clamp to 2", c.Replicas())
+	}
+	// Default replicas is min(2, members).
+	c = mustNew(t, Config{Self: "http://a"})
+	if c.Replicas() != 1 {
+		t.Fatalf("single-node replicas = %d, want 1", c.Replicas())
+	}
+}
+
+func TestReportFailureThresholdAndEpoch(t *testing.T) {
+	c := mustNew(t, Config{Self: "http://a", Peers: []string{"http://b"}, FailAfter: 3})
+	if !c.Alive("http://b") {
+		t.Fatal("peers start alive")
+	}
+	e0 := c.Epoch()
+	c.ReportFailure("http://b", fmt.Errorf("boom"))
+	c.ReportFailure("http://b", fmt.Errorf("boom"))
+	if !c.Alive("http://b") {
+		t.Fatal("marked down before FailAfter")
+	}
+	if c.Epoch() != e0 {
+		t.Fatal("epoch bumped without a transition")
+	}
+	c.ReportFailure("http://b", fmt.Errorf("boom"))
+	if c.Alive("http://b") {
+		t.Fatal("not marked down at FailAfter")
+	}
+	if c.Epoch() != e0+1 {
+		t.Fatalf("epoch %d, want %d after down transition", c.Epoch(), e0+1)
+	}
+	// Further failures don't bump again.
+	c.ReportFailure("http://b", fmt.Errorf("boom"))
+	if c.Epoch() != e0+1 {
+		t.Fatal("epoch bumped while already down")
+	}
+	c.ReportSuccess("http://b")
+	if !c.Alive("http://b") || c.Epoch() != e0+2 {
+		t.Fatalf("resurrect: alive=%v epoch=%d, want alive at epoch %d", c.Alive("http://b"), c.Epoch(), e0+2)
+	}
+	// Success on an alive node resets the fail counter without a bump.
+	c.ReportFailure("http://b", fmt.Errorf("boom"))
+	c.ReportSuccess("http://b")
+	c.ReportFailure("http://b", fmt.Errorf("boom"))
+	c.ReportFailure("http://b", fmt.Errorf("boom"))
+	if !c.Alive("http://b") {
+		t.Fatal("fail counter not reset by success")
+	}
+}
+
+func TestSelfAndUnknownLiveness(t *testing.T) {
+	c := mustNew(t, Config{Self: "http://a", Peers: []string{"http://b"}, FailAfter: 1})
+	c.ReportFailure("http://a", fmt.Errorf("boom")) // ignored
+	if !c.Alive("http://a") {
+		t.Fatal("self must always be alive")
+	}
+	if c.Alive("http://stranger") {
+		t.Fatal("unknown URL reported alive")
+	}
+	c.ReportFailure("http://stranger", fmt.Errorf("boom")) // no panic
+	c.ReportSuccess("http://stranger")
+}
+
+func TestProberMarksDeadPeerDownAndRecovers(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	defer healthy.Close()
+	var healed atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if healed.Load() {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		http.Error(w, "sick", http.StatusInternalServerError)
+	}))
+
+	c := mustNew(t, Config{
+		Self:          "http://self.invalid",
+		Peers:         []string{healthy.URL, flaky.URL},
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		FailAfter:     2,
+	})
+	c.Start()
+	c.Start() // idempotent
+	defer c.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Alive(flaky.URL) {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never marked the unhealthy peer down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !c.Alive(healthy.URL) {
+		t.Fatal("healthy peer marked down")
+	}
+	// Heal the flaky peer: probes must resurrect it.
+	healed.Store(true)
+	for !c.Alive(flaky.URL) {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never resurrected the healed peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := c.Status()
+	if len(st) != 3 || !st[0].Self {
+		t.Fatalf("status = %+v, want self first of 3", st)
+	}
+	flaky.Close()
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	c := mustNew(t, Config{Self: "http://a"})
+	c.Stop()
+	c.Stop() // double stop is a no-op
+}

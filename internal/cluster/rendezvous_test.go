@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func threeNodes(t *testing.T, replicas int) *Cluster {
+	return mustNew(t, Config{
+		Self:     "http://n1",
+		Peers:    []string{"http://n1", "http://n2", "http://n3"},
+		Replicas: replicas,
+	})
+}
+
+func TestOrderIsTotalAndAgreesAcrossNodes(t *testing.T) {
+	peers := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	views := make([]*Cluster, len(peers))
+	for i, self := range peers {
+		views[i] = mustNew(t, Config{Self: self, Peers: peers, Replicas: 2})
+	}
+	for g := 0; g < 50; g++ {
+		graph := fmt.Sprintf("graph-%d", g)
+		ref := views[0].Order(graph)
+		if len(ref) != len(peers) {
+			t.Fatalf("order of %q has %d nodes, want %d", graph, len(ref), len(peers))
+		}
+		seen := map[string]bool{}
+		for _, n := range ref {
+			if seen[n] {
+				t.Fatalf("order of %q repeats %q", graph, n)
+			}
+			seen[n] = true
+		}
+		for i, v := range views[1:] {
+			got := v.Order(graph)
+			for j := range ref {
+				if got[j] != ref[j] {
+					t.Fatalf("node %d disagrees on order of %q: %v vs %v", i+1, graph, got, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestPlacementDistribution(t *testing.T) {
+	peers := make([]string, 5)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://node-%d:8712", i)
+	}
+	c := mustNew(t, Config{Self: peers[0], Peers: peers, Replicas: 2})
+	counts := map[string]int{}
+	const graphs = 2000
+	for g := 0; g < graphs; g++ {
+		pl := c.Placement(fmt.Sprintf("g%d", g))
+		if len(pl) != 2 {
+			t.Fatalf("placement size %d, want 2", len(pl))
+		}
+		counts[pl[0]]++
+	}
+	// Perfectly balanced would be 400 primaries per node; rendezvous
+	// over a good hash should stay within a loose factor.
+	for n, got := range counts {
+		if got < graphs/5/2 || got > graphs/5*2 {
+			t.Errorf("node %s is primary for %d/%d graphs — placement badly skewed", n, got, graphs)
+		}
+	}
+	if len(counts) != len(peers) {
+		t.Errorf("only %d/%d nodes ever primary", len(counts), len(peers))
+	}
+}
+
+func TestActivePrimaryFailover(t *testing.T) {
+	c := threeNodes(t, 3)
+	order := c.Order("g")
+	p, ok := c.ActivePrimary("g")
+	if !ok || p != order[0] {
+		t.Fatalf("active primary %q ok=%v, want %q", p, ok, order[0])
+	}
+	// Down the primary: the next node in rendezvous order promotes.
+	for i := 0; i < DefaultFailAfter; i++ {
+		c.ReportFailure(order[0], fmt.Errorf("connection refused"))
+	}
+	if c.self != order[0] { // self can never be marked down
+		p, ok = c.ActivePrimary("g")
+		if !ok || p != order[1] {
+			t.Fatalf("after primary down: active %q ok=%v, want %q", p, ok, order[1])
+		}
+	}
+	// Down everything but self: self must end up active for every graph.
+	for _, n := range c.Nodes() {
+		for i := 0; i < DefaultFailAfter; i++ {
+			c.ReportFailure(n, fmt.Errorf("down"))
+		}
+	}
+	p, ok = c.ActivePrimary("g")
+	if !ok || p != c.Self() {
+		t.Fatalf("all peers down: active %q ok=%v, want self %q", p, ok, c.Self())
+	}
+}
+
+func TestAllPlacementDownIsUnavailable(t *testing.T) {
+	// Replicas=2 on 3 nodes: some graph's placement set excludes self.
+	c := threeNodes(t, 2)
+	var graph string
+	for g := 0; ; g++ {
+		graph = fmt.Sprintf("g%d", g)
+		if !c.OwnsLocally(graph) {
+			break
+		}
+	}
+	for _, n := range c.Placement(graph) {
+		for i := 0; i < DefaultFailAfter; i++ {
+			c.ReportFailure(n, fmt.Errorf("down"))
+		}
+	}
+	if p, ok := c.ActivePrimary(graph); ok {
+		t.Fatalf("whole placement set down but ActivePrimary returned %q", p)
+	}
+}
+
+func TestInPlacementMatchesPlacement(t *testing.T) {
+	c := threeNodes(t, 2)
+	for g := 0; g < 20; g++ {
+		graph := fmt.Sprintf("g%d", g)
+		set := map[string]bool{}
+		for _, n := range c.Placement(graph) {
+			set[n] = true
+		}
+		for _, n := range c.Nodes() {
+			if c.InPlacement(graph, n) != set[n] {
+				t.Fatalf("InPlacement(%q, %q) disagrees with Placement", graph, n)
+			}
+		}
+	}
+}

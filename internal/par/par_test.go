@@ -1,9 +1,13 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestForCoversAllIndices(t *testing.T) {
@@ -294,5 +298,48 @@ func BenchmarkPrefixSum(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		PrefixSumInt32(DefaultProcs(), src, dst)
+	}
+}
+
+// TestCtxErrDeadlineUnderSingleProc pins the GOMAXPROCS=1 starvation
+// fix (PR 2's wall-clock check in CtxErr): with a single P and a busy
+// compute loop that never yields, the runtime may never schedule the
+// context's internal timer goroutine, so ctx.Err() alone can stay nil
+// long past the deadline. CtxErr compares against the deadline
+// wall-clock directly, which bounds the cancellation latency of every
+// round loop that polls it — this test fails if that check is ever
+// removed (the busy loop would spin until the scheduler happens to
+// run the timer, far past the latency bound asserted here).
+func TestCtxErrDeadlineUnderSingleProc(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	const deadline = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	start := time.Now()
+	var spins int64
+	for {
+		if err := CtxErr(ctx); err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("CtxErr = %v, want DeadlineExceeded", err)
+			}
+			break
+		}
+		spins++ // busy loop: no sleeps, no channel ops, nothing that yields
+		if time.Since(start) > 10*time.Second {
+			t.Fatal("CtxErr never observed the expired deadline under GOMAXPROCS=1")
+		}
+	}
+	elapsed := time.Since(start)
+	// (No lower-bound assertion: start is stamped a hair after the
+	// deadline was armed, so elapsed may read epsilon under it.)
+	// The wall-clock check fires on the first poll past the deadline;
+	// anything near a second means we waited for the starved timer
+	// goroutine instead. 2s is lax enough for a loaded CI box.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation latency %v under GOMAXPROCS=1 (deadline %v, %d polls) — wall-clock check regressed",
+			elapsed, deadline, spins)
 	}
 }

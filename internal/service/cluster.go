@@ -1,0 +1,970 @@
+package service
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dynamic"
+)
+
+// Cluster wiring: an optional cluster.Cluster behind the server turns
+// this colord process into one member of a sharded multi-node service.
+// The split of responsibilities:
+//
+//   - internal/cluster owns membership, liveness and rendezvous
+//     placement (who holds which graph, who accepts its writes);
+//   - this file owns routing (a node transparently proxies requests
+//     for graphs it does not hold to the active primary, with a hop
+//     guard), replication (the active primary streams every applied
+//     batch to its replicas — synchronously, before the client ack,
+//     so a kill -9 of the primary loses no acknowledged mutation),
+//     and catch-up (a promoted or rejoining node pulls the WAL tail
+//     it is missing from a peer before accepting writes; until then
+//     writes get 503 + Retry-After).
+//
+// Replication reuses the store's WAL machinery end to end: the batch
+// payload on the wire is the dynamic.Batch binary codec (the WAL's
+// record payload), replicas apply through the same entry.Mutate-style
+// path under the entry lock and append to their own WAL before acking,
+// so a replica's on-disk state is record-for-record compatible with
+// the primary's, and the tail feed for catch-up is a plain WAL read
+// (store.TailRecords).
+//
+// Known limits (static membership v1, all tracked in ROADMAP.md):
+// upload-format graphs cannot lazily bootstrap onto a replica that was
+// down at registration time (needs snapshot shipping), a WAL compacted
+// past a straggler's version also needs snapshot shipping, and a
+// failback race inside one probe interval can fork a graph's version
+// chain — forks are detected by the per-batch hash carried on the
+// replication stream and surface as a "diverged" replica in
+// /v1/cluster/status rather than being silently merged.
+
+// Cluster HTTP headers. Forwarded marks a proxied client request (the
+// hop guard: a forwarded request is never forwarded again); Replicated
+// marks internal fan-out (registration replication) that must be
+// handled locally without further routing.
+const (
+	forwardedHeader  = "X-Colord-Forwarded"
+	replicatedHeader = "X-Colord-Replicated"
+)
+
+// maxReplicateBodyBytes bounds one replication POST. It must admit
+// every batch the mutate path can ack: a client batch is capped at
+// maxMutateBodyBytes (8 MB) of JSON, whose binary codec re-encoding
+// is of the same order but whose base64-in-JSON envelope inflates it
+// by 4/3 — so the replicate body for a maximal legal batch can EXCEED
+// maxMutateBodyBytes. Capping at the mutate limit would make replicas
+// reject exactly the largest acked batches (silently un-replicating
+// them); 64 MB leaves an order-of-magnitude margin while still
+// bounding a malicious internal POST.
+const maxReplicateBodyBytes = 64 << 20
+
+// DefaultReplicationTimeout bounds one synchronous replication POST
+// (and one catch-up tail fetch). It runs under the graph entry's
+// mutation lock, so it also bounds how long a dead-but-not-yet-marked
+// replica can stall one graph's write path.
+const DefaultReplicationTimeout = 15 * time.Second
+
+// clusterState is the service-side cluster runtime.
+type clusterState struct {
+	c *cluster.Cluster
+	// proxyClient forwards client requests (no client timeout: the
+	// request context and the target's own deadline govern); replClient
+	// carries replication and catch-up traffic under replTimeout.
+	proxyClient *http.Client
+	replClient  *http.Client
+	replTimeout time.Duration
+
+	mu sync.Mutex
+	// watermarks[graph][peer] is the highest version peer has acked on
+	// the replication stream; diverged[graph][peer] records a peer
+	// whose version chain provably forked from ours (needs operator
+	// attention / snapshot resync).
+	watermarks map[string]map[string]uint64
+	diverged   map[string]map[string]string
+}
+
+// AttachCluster mounts the cluster view behind the server. Call before
+// serving. replTimeout <= 0 selects DefaultReplicationTimeout. With no
+// attached cluster every routing hook below is a no-op and the server
+// behaves exactly like the single-node daemon of PR 4.
+func (s *Server) AttachCluster(c *cluster.Cluster, replTimeout time.Duration) {
+	if replTimeout <= 0 {
+		replTimeout = DefaultReplicationTimeout
+	}
+	s.cl = &clusterState{
+		c:           c,
+		proxyClient: &http.Client{},
+		replClient:  &http.Client{Timeout: replTimeout},
+		replTimeout: replTimeout,
+		watermarks:  make(map[string]map[string]uint64),
+		diverged:    make(map[string]map[string]string),
+	}
+}
+
+// Cluster returns the attached cluster view (nil when single-node).
+func (s *Server) Cluster() *cluster.Cluster {
+	if s.cl == nil {
+		return nil
+	}
+	return s.cl.c
+}
+
+// batchHash is the per-batch fingerprint carried on the replication
+// stream: hash of (version-after, batch codec bytes). Identical on
+// every node that applied the same batch at the same version — and
+// recomputable after a restart from the last WAL record alone — so
+// comparing the sender's hash of version V-1 with the receiver's
+// detects a forked chain at the write boundary without any shared
+// history state.
+func batchHash(version uint64, b *dynamic.Batch) uint64 {
+	buf := make([]byte, 8, 64)
+	binary.LittleEndian.PutUint64(buf, version)
+	buf = b.AppendBinary(buf)
+	h := fnv.New64a()
+	h.Write(buf)
+	return h.Sum64()
+}
+
+// unavailable writes a 503 with Retry-After — the "not right now"
+// response of the routing layer (placement set down, catch-up in
+// progress, routing views disagreeing mid-failover).
+func unavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, fmt.Errorf("%w: %v", ErrUnavailable, err))
+}
+
+// routeWrite decides where a write for graph lands. Returns true when
+// it wrote the response itself (proxied it, or rejected it); false
+// means "handle locally". Writes always belong to the active primary:
+// any other node proxies, a forwarded request that still lands on a
+// non-primary is rejected (hop guard — two proxies disagreeing on
+// ownership must not bounce a request around the cluster), and a
+// placement set with no alive member is 503.
+func (s *Server) routeWrite(w http.ResponseWriter, r *http.Request, graph string, body []byte) bool {
+	if s.cl == nil {
+		return false
+	}
+	c := s.cl.c
+	if r.Header.Get(replicatedHeader) != "" {
+		return false // internal fan-out: always local
+	}
+	if c.IsActivePrimary(graph) {
+		return false
+	}
+	if from := r.Header.Get(forwardedHeader); from != "" {
+		s.clusterHopRejections.Add(1)
+		unavailable(w, fmt.Errorf("node %s is not the active primary for %q (forwarded from %s; membership views disagree mid-failover)",
+			c.Self(), graph, from))
+		return true
+	}
+	primary, ok := c.ActivePrimary(graph)
+	if !ok {
+		unavailable(w, fmt.Errorf("no alive node in the placement set of %q", graph))
+		return true
+	}
+	s.proxy(w, r, primary, body)
+	return true
+}
+
+// routeRead decides where a read for graph lands. A node that holds
+// the graph serves it locally — placement replicas serve reads at
+// their replicated version (responses carry graphVersion, and the
+// cache keys on it, so a replica lagging by an in-flight batch serves
+// a correct coloring of a recent version, never a wrong one). A node
+// that does not hold the graph proxies to the active primary, or to
+// any alive placement member when the primary seat is empty.
+func (s *Server) routeRead(w http.ResponseWriter, r *http.Request, graph string, body []byte) bool {
+	if s.cl == nil {
+		return false
+	}
+	if _, err := s.reg.Get(graph); err == nil {
+		return false // we hold it: serve locally
+	}
+	c := s.cl.c
+	primary, ok := c.ActivePrimary(graph)
+	if ok && primary == c.Self() {
+		// We are the active primary and don't hold the graph. Either it
+		// exists on our placement peers and we missed the registration
+		// (down at the time — bootstrap it now and serve), or it exists
+		// nowhere: fall through to local handling so the client gets the
+		// same 404 single-node mode produces — a hop rejection or
+		// self-proxy here would dress a permanent miss up as a
+		// retryable 503.
+		if _, err := s.bootstrapMissingGraph(graph); err != nil {
+			// err already classifies itself (ErrUnavailable for the
+			// snapshot-shipping / failed-catch-up cases).
+			w.Header().Set("Retry-After", "1")
+			writeError(w, err)
+			return true
+		}
+		return false // bootstrapped (serve locally) or a genuine 404
+	}
+	if from := r.Header.Get(forwardedHeader); from != "" {
+		s.clusterHopRejections.Add(1)
+		unavailable(w, fmt.Errorf("node %s does not hold %q (forwarded from %s)", c.Self(), graph, from))
+		return true
+	}
+	if !ok {
+		unavailable(w, fmt.Errorf("no alive node in the placement set of %q", graph))
+		return true
+	}
+	s.proxy(w, r, primary, body)
+	return true
+}
+
+// proxy forwards the request (with its already-read body) to target
+// and relays the response verbatim. Transport failures feed the
+// liveness state — a crashed primary is demoted after FailAfter failed
+// proxies, not after a probe interval — and return 502 so the client
+// can retry against the promoted owner.
+func (s *Server) proxy(w http.ResponseWriter, r *http.Request, target string, body []byte) {
+	s.clusterProxied.Add(1)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), rd)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: building proxy request: %v", ErrBadRequest, err))
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(forwardedHeader, s.cl.c.Self())
+	resp, err := s.cl.proxyClient.Do(req)
+	if err != nil {
+		s.cl.c.ReportFailure(target, err)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusBadGateway, apiError{Error: fmt.Sprintf("proxying to %s: %v", target, err)})
+		return
+	}
+	defer resp.Body.Close()
+	s.cl.c.ReportSuccess(target)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// replicateRequest is the POST /v1/internal/replicate body: one
+// applied batch, identified by the version it produced, carrying the
+// hash of the previous batch (fork detection), the graph's spec (lazy
+// replica bootstrap for spec-built graphs) and the sender's base URL
+// (where a gapped replica pulls the missing tail from).
+type replicateRequest struct {
+	Graph    string `json:"graph"`
+	Version  uint64 `json:"version"`
+	PrevHash uint64 `json:"prevHash"`
+	Spec     string `json:"spec,omitempty"`
+	From     string `json:"from"`
+	// Batch is the dynamic.Batch binary codec (the WAL record payload
+	// format), base64-encoded.
+	Batch string `json:"batch"`
+}
+
+// replicateResponse reports the replica's version after handling the
+// record — the ack watermark the primary records — and whether the
+// record is durably logged there (false on a memory-only or
+// persistence-degraded replica: the batch is applied, which is enough
+// to survive a primary kill while the replica process lives, but NOT
+// enough to survive the replica's own restart, so the primary must
+// not advance its durability watermark on it).
+type replicateResponse struct {
+	Graph     string `json:"graph"`
+	Version   uint64 `json:"version"`
+	Persisted bool   `json:"persisted"`
+}
+
+// decodeWireBatch decodes the base64 dynamic.Batch codec bytes carried
+// by the replication and tail wire formats.
+func decodeWireBatch(b64 string) (dynamic.Batch, error) {
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return dynamic.Batch{}, err
+	}
+	return dynamic.DecodeBatch(raw)
+}
+
+// replicateBatch streams one applied batch to every alive replica in
+// the graph's placement set, synchronously — it runs inside the
+// entry's mutation lock, before the WAL append and the client ack, so
+// an acknowledged batch is durable on every replica that was alive
+// when it was acked (kill -9 of the primary then loses nothing that
+// was acknowledged). Down replicas are skipped (they pull the tail on
+// rejoin); failed or diverged replicas are recorded and skipped by the
+// watermark. Returns how many replicas acked this version.
+func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch) int {
+	c := s.cl.c
+	enc := b.AppendBinary(make([]byte, 0, 64))
+	payload, err := json.Marshal(replicateRequest{
+		Graph:    e.Name,
+		Version:  version,
+		PrevHash: e.lastBatchHash, // hash of version-1's batch (caller holds e.mu)
+		Spec:     e.Spec,
+		From:     c.Self(),
+		Batch:    base64.StdEncoding.EncodeToString(enc),
+	})
+	if err != nil {
+		s.clusterReplErrors.Add(1)
+		return 0
+	}
+	acked := 0
+	for _, peer := range c.Placement(e.Name) {
+		if peer == c.Self() || !c.Alive(peer) {
+			continue
+		}
+		ack, status, err := s.postReplicate(peer, payload)
+		switch {
+		case err != nil:
+			s.clusterReplErrors.Add(1)
+			c.ReportFailure(peer, err)
+		case status == http.StatusConflict:
+			// The replica proved its chain diverged from ours (or holds a
+			// graph shape replication cannot reconcile). Record it; the
+			// operator resolves via /v1/cluster/status + resync (ROADMAP:
+			// automated snapshot shipping).
+			s.clusterReplErrors.Add(1)
+			s.cl.setDiverged(e.Name, peer, fmt.Sprintf("replicating version %d: replica refused (conflict)", version))
+		case status != http.StatusOK:
+			s.clusterReplErrors.Add(1)
+		case ack.Version > version:
+			// The replica claims a version we have not produced yet. In a
+			// healthy cluster the primary is the authority and replicas
+			// never run ahead, so this is a fork in the making (a
+			// split-brain peer applied its own batches) — counting it as
+			// an ack would report "replicated" for a batch the peer never
+			// stored and hide the fork until the versions collide.
+			s.clusterReplErrors.Add(1)
+			s.cl.setDiverged(e.Name, peer, fmt.Sprintf("replica at version %d is ahead of the primary's %d (suspected fork)", ack.Version, version))
+		case ack.Version < version:
+			s.clusterReplErrors.Add(1)
+		default:
+			c.ReportSuccess(peer)
+			s.clusterReplicated.Add(1)
+			// Only a DURABLE ack advances the watermark and the response's
+			// replicated count: a memory-only or persistence-degraded
+			// replica applied the batch (enough to cover a primary kill
+			// while that process lives) but would lose it to its own
+			// restart, and the watermark's contract is recoverability.
+			if ack.Persisted {
+				s.cl.setWatermark(e.Name, peer, ack.Version)
+				acked++
+			}
+		}
+	}
+	return acked
+}
+
+// postReplicate POSTs one replication record to peer and returns the
+// replica's ack and HTTP status.
+func (s *Server) postReplicate(peer string, payload []byte) (replicateResponse, int, error) {
+	var ack replicateResponse
+	resp, err := s.cl.replClient.Post(peer+"/v1/internal/replicate", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return ack, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return ack, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ack, resp.StatusCode, nil
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return ack, resp.StatusCode, err
+	}
+	return ack, resp.StatusCode, nil
+}
+
+func (cs *clusterState) setWatermark(graph, peer string, version uint64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	m := cs.watermarks[graph]
+	if m == nil {
+		m = make(map[string]uint64)
+		cs.watermarks[graph] = m
+	}
+	// First sight of a peer records it even at version 0 (a replica
+	// that accepted the registration shows up in status before any
+	// mutation); afterwards the watermark only moves forward.
+	if v, seen := m[peer]; !seen || version > v {
+		m[peer] = version
+	}
+	// A divergence record, once set, is NOT cleared by later acks: an
+	// exact-version ack can be an idempotent "already have it" from a
+	// forked peer whose chain still differs below the head. Resolution
+	// is an operator action (wipe + re-sync the replica; ROADMAP:
+	// automated snapshot shipping), after which the restarted process
+	// starts with a clean slate anyway.
+}
+
+func (cs *clusterState) setDiverged(graph, peer, reason string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	m := cs.diverged[graph]
+	if m == nil {
+		m = make(map[string]string)
+		cs.diverged[graph] = m
+	}
+	m[peer] = reason
+}
+
+// Sentinels of the replicated-apply path.
+var (
+	errReplGap      = errors.New("replication gap")
+	errReplDiverged = errors.New("replication chain diverged")
+)
+
+// ApplyReplicated applies a batch that originated on another node:
+// idempotent for versions already held, strict +1 continuity otherwise,
+// with the sender's prev-batch hash checked against ours before the
+// apply (a mismatch means the two nodes applied different batches at
+// the same version — a forked chain that must surface, not merge).
+// persist is the local WAL hook, same contract as Mutate's. Returns
+// whether the batch was applied, whether it is durably logged (the
+// persist hook's verdict — false when the hook is absent or degraded;
+// an idempotent re-delivery reports the degraded flag's current state,
+// mirroring Mutate's no-op rule), and the entry's version afterwards.
+func (e *GraphEntry) ApplyReplicated(version, prevHash uint64, b dynamic.Batch, persist func(uint64, dynamic.Batch) bool) (applied, persisted bool, cur uint64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn == nil {
+		e.dyn = dynamic.NewColored(e.G, mutateOptions)
+	}
+	cur = e.dyn.Version()
+	if version <= cur {
+		// Already have it (re-delivery): ack idempotently, reporting the
+		// durability the stored copy actually has.
+		return false, persist != nil && !e.persistBroken.Load(), cur, nil
+	}
+	if version != cur+1 {
+		return false, false, cur, fmt.Errorf("%w: record at version %d, local head %d", errReplGap, version, cur)
+	}
+	if prevHash != 0 && e.lastBatchHash != 0 && prevHash != e.lastBatchHash {
+		return false, false, cur, fmt.Errorf("%w: sender's batch %d differs from ours", errReplDiverged, cur)
+	}
+	res, err := e.dyn.Apply(b)
+	if err != nil {
+		return false, false, cur, fmt.Errorf("%w: applying replicated batch for version %d: %v", errReplDiverged, version, err)
+	}
+	if res.Version != version {
+		// The same batch on the same state must reach the same version
+		// (determinism); anything else means the states differ.
+		return false, false, res.Version, fmt.Errorf("%w: replicated batch reached version %d, sender says %d",
+			errReplDiverged, res.Version, version)
+	}
+	if persist != nil {
+		persisted = persist(version, b)
+	}
+	e.lastBatchHash = batchHash(version, &b)
+	return true, persisted, version, nil
+}
+
+// handleReplicate serves POST /v1/internal/replicate: the replica half
+// of the replication stream. Gapped deliveries self-heal by pulling
+// the missing tail from the sender before applying; spec-built graphs
+// bootstrap lazily when the replica never saw the registration.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s on /v1/internal/replicate (want POST)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	if s.cl == nil {
+		writeError(w, fmt.Errorf("%w: clustering is not enabled on this node", ErrBadRequest))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReplicateBodyBytes+1))
+	if err != nil || len(body) > maxReplicateBodyBytes {
+		writeError(w, fmt.Errorf("%w: reading body", ErrBadRequest))
+		return
+	}
+	var req replicateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
+		return
+	}
+	batch, err := decodeWireBatch(req.Batch)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: decoding batch: %v", ErrBadRequest, err))
+		return
+	}
+	if !s.cl.c.OwnsLocally(req.Graph) {
+		writeError(w, fmt.Errorf("%w: node %s is not in the placement set of %q", ErrConflict, s.cl.c.Self(), req.Graph))
+		return
+	}
+	entry, err := s.reg.Get(req.Graph)
+	if err != nil {
+		// Lazy replica bootstrap: a spec-built graph whose registration
+		// fan-out never reached us (we were down) can be rebuilt from the
+		// spec alone; an upload cannot (its bytes live only in peers'
+		// snapshots — ROADMAP: snapshot shipping).
+		if req.Spec == "" || isUploadSpec(req.Spec) {
+			writeError(w, fmt.Errorf("%w: replica does not hold %q and cannot rebuild it (spec %q)",
+				ErrConflict, req.Graph, req.Spec))
+			return
+		}
+		if entry, err = s.RegisterSpec(req.Graph, req.Spec); err != nil {
+			writeError(w, fmt.Errorf("bootstrapping replica of %q: %w", req.Graph, err))
+			return
+		}
+	}
+	applied, persisted, cur, err := entry.ApplyReplicated(req.Version, req.PrevHash, batch, s.persistBatch(entry))
+	if errors.Is(err, errReplGap) && req.From != "" {
+		// Pull the records between our head and the carried batch from
+		// the sender's WAL, then retry the batch itself.
+		if cerr := s.catchUpFrom(entry, req.From); cerr != nil {
+			unavailable(w, fmt.Errorf("replica behind for %q and catch-up from %s failed: %v", req.Graph, req.From, cerr))
+			return
+		}
+		applied, persisted, cur, err = entry.ApplyReplicated(req.Version, req.PrevHash, batch, s.persistBatch(entry))
+	}
+	switch {
+	case errors.Is(err, errReplDiverged):
+		writeError(w, fmt.Errorf("%w: %v", ErrConflict, err))
+		return
+	case err != nil:
+		unavailable(w, err)
+		return
+	}
+	if applied {
+		s.cacheInvalidations.Add(int64(s.mgr.Cache().DeleteGraph(req.Graph)))
+	}
+	writeJSONCompact(w, http.StatusOK, replicateResponse{Graph: req.Graph, Version: cur, Persisted: persisted})
+}
+
+// isUploadSpec reports whether spec names an uploaded payload (whose
+// bytes are not reproducible from the spec string).
+func isUploadSpec(spec string) bool {
+	return len(spec) >= 7 && spec[:7] == "upload:"
+}
+
+// tailResponse is the GET /v1/internal/tail document: the durable
+// records past the requested version, in order.
+type tailResponse struct {
+	Graph   string       `json:"graph"`
+	After   uint64       `json:"after"`
+	Records []tailRecord `json:"records"`
+}
+
+type tailRecord struct {
+	Version uint64 `json:"version"`
+	Batch   string `json:"batch"` // dynamic.Batch codec, base64
+}
+
+// handleTail serves GET /v1/internal/tail?graph=G&after=V: the WAL
+// records with version > V, the catch-up feed for promoted or
+// rejoining peers. Requires a data directory — the tail is read
+// straight from the WAL (store.TailRecords), which is also what makes
+// it exactly the record stream the requester would have gotten live.
+func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, fmt.Errorf("%w: %s on /v1/internal/tail (want GET)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	if s.st == nil {
+		writeError(w, fmt.Errorf("%w: no data directory attached (cluster catch-up requires -data-dir)", ErrBadRequest))
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("graph")
+	after, err := strconv.ParseUint(q.Get("after"), 10, 64)
+	if name == "" || err != nil {
+		writeError(w, fmt.Errorf("%w: want ?graph=NAME&after=VERSION", ErrBadRequest))
+		return
+	}
+	records, err := s.st.TailRecords(name, after)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrConflict, err))
+		return
+	}
+	resp := tailResponse{Graph: name, After: after, Records: make([]tailRecord, len(records))}
+	for i, rec := range records {
+		resp.Records[i] = tailRecord{
+			Version: rec.Version,
+			Batch:   base64.StdEncoding.EncodeToString(rec.Batch.AppendBinary(nil)),
+		}
+	}
+	writeJSONCompact(w, http.StatusOK, resp)
+}
+
+// handleVersion serves GET /v1/internal/version?graph=G: this node's
+// local version (and spec) of the graph, never routed — the cheap
+// probe peers use to decide whether they are behind, and the seed a
+// placement peer that missed the registration bootstraps from.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, fmt.Errorf("%w: %s on /v1/internal/version (want GET)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	name := r.URL.Query().Get("graph")
+	e, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONCompact(w, http.StatusOK, map[string]interface{}{"graph": name, "version": e.Version(), "spec": e.Spec})
+}
+
+// peerVersion asks peer for its local version and spec of name.
+// ok=false when the peer does not hold the graph.
+func (s *Server) peerVersion(peer, name string) (version uint64, spec string, ok bool, err error) {
+	resp, err := s.cl.replClient.Get(peer + "/v1/internal/version?graph=" + url.QueryEscape(name))
+	if err != nil {
+		return 0, "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return 0, "", false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", false, fmt.Errorf("version probe status %d", resp.StatusCode)
+	}
+	var v struct {
+		Version uint64 `json:"version"`
+		Spec    string `json:"spec"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&v); err != nil {
+		return 0, "", false, err
+	}
+	return v.Version, v.Spec, true, nil
+}
+
+// bootstrapMissingGraph covers the hole the lazy replicate-side
+// bootstrap cannot: a node that was down when a graph was registered
+// and is now that graph's ACTIVE PRIMARY — no peer will ever stream
+// to it, so without this every request for the graph would 404 off
+// the primary while its replicas hold the data. Ask the alive
+// placement peers whether they hold name: spec-built graphs are
+// rebuilt from the spec and caught up from the peer's WAL tail;
+// upload-format graphs cannot be (their bytes live only in peers'
+// snapshots — ROADMAP: snapshot shipping), which is an explicit
+// unavailable error rather than a misleading 404. (nil, nil) means no
+// peer holds it: a genuine 404.
+func (s *Server) bootstrapMissingGraph(name string) (*GraphEntry, error) {
+	if s.cl == nil {
+		return nil, nil
+	}
+	c := s.cl.c
+	for _, peer := range c.Placement(name) {
+		if peer == c.Self() || !c.Alive(peer) {
+			continue
+		}
+		_, spec, ok, err := s.peerVersion(peer, name)
+		if err != nil {
+			c.ReportFailure(peer, err)
+			continue
+		}
+		c.ReportSuccess(peer)
+		if !ok {
+			continue
+		}
+		if spec == "" || isUploadSpec(spec) {
+			return nil, fmt.Errorf("%w: %s holds %q but it cannot be rebuilt from spec %q (snapshot shipping needed)",
+				ErrUnavailable, peer, name, spec)
+		}
+		e, err := s.RegisterSpec(name, spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.catchUpFrom(e, peer); err != nil {
+			return nil, fmt.Errorf("%w: bootstrapped %q from %s but catch-up failed: %v", ErrUnavailable, name, peer, err)
+		}
+		fmt.Fprintf(os.Stderr, "service: bootstrapped graph %q (spec %s) from peer %s at version %d\n",
+			name, spec, peer, e.Version())
+		return e, nil
+	}
+	return nil, nil
+}
+
+// catchUpFrom pulls the WAL tail past our local version from peer and
+// applies it through the replicated-apply path (so it lands in our WAL
+// too). Returns nil when we end at least at the version the peer
+// reported when we started.
+//
+// Fork guard: the first fetch asks for one record of OVERLAP (after =
+// local-1) so the peer's record at our head version can be compared
+// against our own last batch's hash. If they differ, the two nodes
+// applied different batches at the same version — a forked chain that
+// catch-up must refuse to paper over by stacking the peer's tail on a
+// different base. The overlap check is skipped when we have no hash
+// (fresh graph, or a compacted WAL on either side) — no better
+// evidence exists without snapshot shipping (ROADMAP).
+func (s *Server) catchUpFrom(e *GraphEntry, peer string) error {
+	verified := false
+	for {
+		local := e.Version()
+		after := local
+		var wantHash uint64
+		if !verified {
+			e.mu.Lock()
+			wantHash = e.lastBatchHash
+			e.mu.Unlock()
+			if local > 0 && wantHash != 0 {
+				after = local - 1
+			}
+		}
+		overlap := after < local
+		resp, err := s.cl.replClient.Get(peer + "/v1/internal/tail?graph=" + url.QueryEscape(e.Name) + "&after=" + strconv.FormatUint(after, 10))
+		if err != nil {
+			s.cl.c.ReportFailure(peer, err)
+			return err
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxUploadBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			if overlap {
+				// The overlap record may be compacted away on the peer;
+				// retry without the fork check rather than failing a
+				// legitimate catch-up.
+				verified = true
+				continue
+			}
+			return fmt.Errorf("tail fetch from %s: status %d: %s", peer, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		var tail tailResponse
+		if err := json.Unmarshal(body, &tail); err != nil {
+			return fmt.Errorf("tail fetch from %s: %v", peer, err)
+		}
+		records := tail.Records
+		if overlap {
+			verified = true
+			if len(records) > 0 && records[0].Version == local {
+				b, err := decodeWireBatch(records[0].Batch)
+				if err != nil {
+					return fmt.Errorf("tail record %d: %v", records[0].Version, err)
+				}
+				if batchHash(local, &b) != wantHash {
+					reason := fmt.Sprintf("catch-up refused: %s's batch at version %d differs from ours (forked chain)", peer, local)
+					s.cl.setDiverged(e.Name, peer, reason)
+					return fmt.Errorf("%w: %s", errReplDiverged, reason)
+				}
+				records = records[1:]
+			}
+		}
+		if len(records) == 0 {
+			return nil // caught up with everything the peer can serve
+		}
+		for _, rec := range records {
+			b, err := decodeWireBatch(rec.Batch)
+			if err != nil {
+				return fmt.Errorf("tail record %d: %v", rec.Version, err)
+			}
+			applied, _, _, err := e.ApplyReplicated(rec.Version, 0, b, s.persistBatch(e))
+			if err != nil {
+				return fmt.Errorf("applying tail record %d: %v", rec.Version, err)
+			}
+			if applied {
+				s.clusterCatchups.Add(1)
+				s.cacheInvalidations.Add(int64(s.mgr.Cache().DeleteGraph(e.Name)))
+			}
+		}
+	}
+}
+
+// ensureSynced makes sure this node is caught up on e before it acts
+// as the graph's write owner. Cheap in steady state (one atomic epoch
+// compare); after a membership transition — a promotion, or this node
+// rejoining after a crash — it asks every alive placement peer for its
+// version and pulls whatever tail it is missing. An alive peer that is
+// provably ahead but cannot feed us the gap (compacted WAL, transport
+// failure) keeps us read-only for the graph: accepting a write then
+// would fork the version chain, so the caller turns the error into
+// 503 + Retry-After and the client retries after the pull succeeds.
+func (s *Server) ensureSynced(e *GraphEntry) error {
+	if s.cl == nil {
+		return nil
+	}
+	c := s.cl.c
+	epoch := c.Epoch()
+	e.mu.Lock()
+	synced := e.syncedEpoch == epoch
+	e.mu.Unlock()
+	if synced {
+		return nil
+	}
+	for _, peer := range c.Placement(e.Name) {
+		if peer == c.Self() || !c.Alive(peer) {
+			continue
+		}
+		pv, _, has, err := s.peerVersion(peer, e.Name)
+		if err != nil {
+			// An unreachable peer cannot hold the graph hostage: the
+			// fail-stop model says it is down (the report accelerates the
+			// liveness verdict) and we are the best remaining authority.
+			c.ReportFailure(peer, err)
+			continue
+		}
+		c.ReportSuccess(peer)
+		if !has || pv <= e.Version() {
+			continue
+		}
+		if err := s.catchUpFrom(e, peer); err != nil {
+			return fmt.Errorf("catching up %q from %s: %v", e.Name, peer, err)
+		}
+		if e.Version() < pv {
+			return fmt.Errorf("%s holds %q at version %d but can only feed us to %d (compacted WAL? snapshot shipping needed)",
+				peer, e.Name, pv, e.Version())
+		}
+	}
+	e.mu.Lock()
+	e.syncedEpoch = epoch
+	e.mu.Unlock()
+	return nil
+}
+
+// fanoutRegistration replicates a fresh registration to the graph's
+// alive placement peers by re-POSTing the original upload body with
+// the internal replication header. Best-effort: a down replica
+// bootstraps lazily from the spec at first replication (spec-built
+// graphs) or waits for snapshot shipping (uploads, ROADMAP); failures
+// are gauged, never fail the client's registration.
+func (s *Server) fanoutRegistration(name string, body []byte) {
+	c := s.cl.c
+	for _, peer := range c.Placement(name) {
+		if peer == c.Self() || !c.Alive(peer) {
+			continue
+		}
+		// Bounded by the replication timeout like every other internal
+		// call: this runs inside the client's registration request, and a
+		// hung-but-not-yet-demoted replica must cost one replTimeout, not
+		// minutes. A peer that misses the fan-out bootstraps lazily from
+		// the spec at first replication, or waits for snapshot shipping.
+		req, err := http.NewRequest(http.MethodPost, peer+"/v1/graphs", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(replicatedHeader, c.Self())
+		resp, err := s.cl.replClient.Do(req)
+		if err != nil {
+			s.clusterReplErrors.Add(1)
+			c.ReportFailure(peer, err)
+			fmt.Fprintf(os.Stderr, "service: replicating registration of %q to %s: %v\n", name, peer, err)
+			continue
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			s.clusterReplErrors.Add(1)
+			fmt.Fprintf(os.Stderr, "service: replicating registration of %q to %s: status %d\n", name, peer, resp.StatusCode)
+			continue
+		}
+		c.ReportSuccess(peer)
+		s.cl.setWatermark(name, peer, 0)
+	}
+}
+
+// ClusterMetrics is the /metrics view of the routing/replication layer.
+type ClusterMetrics struct {
+	Self              string `json:"self"`
+	Nodes             int    `json:"nodes"`
+	Replicas          int    `json:"replicas"`
+	Epoch             uint64 `json:"epoch"`
+	Proxied           int64  `json:"proxied"`
+	ReplicatedBatches int64  `json:"replicatedBatches"`
+	ReplicationErrors int64  `json:"replicationErrors"`
+	HopRejections     int64  `json:"hopRejections"`
+	CatchupBatches    int64  `json:"catchupBatches"`
+}
+
+// clusterStatusGraph is one graph's placement view in /v1/cluster/status.
+type clusterStatusGraph struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	// Primary is the rendezvous-first member; ActivePrimary is the
+	// member currently accepting writes ("" when the whole placement
+	// set is down). They differ exactly while failover is in effect.
+	Primary       string   `json:"primary"`
+	ActivePrimary string   `json:"activePrimary,omitempty"`
+	Placement     []string `json:"placement"`
+	// Role is this node's relationship to the graph: "primary",
+	// "replica" or "none".
+	Role string `json:"role"`
+	// Watermarks maps each replica to the highest version it acked on
+	// the replication stream (present on the node that produced them).
+	Watermarks map[string]uint64 `json:"watermarks,omitempty"`
+	// Diverged maps replicas whose version chain forked from ours to
+	// the detection reason.
+	Diverged map[string]string `json:"diverged,omitempty"`
+}
+
+// handleClusterStatus serves GET /v1/cluster/status: membership,
+// liveness, per-graph placement, roles and replication watermarks —
+// the operator's (and the cluster smoke test's) one-stop view.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, fmt.Errorf("%w: %s on /v1/cluster/status (want GET)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	if s.cl == nil {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"enabled": false})
+		return
+	}
+	c := s.cl.c
+	graphs := []clusterStatusGraph{}
+	for _, e := range s.reg.List() {
+		pl := c.Placement(e.Name)
+		g := clusterStatusGraph{
+			Name:      e.Name,
+			Version:   e.Version(),
+			Primary:   pl[0],
+			Placement: pl,
+			Role:      "none",
+		}
+		if ap, ok := c.ActivePrimary(e.Name); ok {
+			g.ActivePrimary = ap
+		}
+		switch {
+		case g.ActivePrimary == c.Self():
+			g.Role = "primary"
+		case c.OwnsLocally(e.Name):
+			g.Role = "replica"
+		}
+		s.cl.mu.Lock()
+		if wm := s.cl.watermarks[e.Name]; len(wm) > 0 {
+			g.Watermarks = make(map[string]uint64, len(wm))
+			for p, v := range wm {
+				g.Watermarks[p] = v
+			}
+		}
+		if dv := s.cl.diverged[e.Name]; len(dv) > 0 {
+			g.Diverged = make(map[string]string, len(dv))
+			for p, reason := range dv {
+				g.Diverged[p] = reason
+			}
+		}
+		s.cl.mu.Unlock()
+		graphs = append(graphs, g)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"enabled":  true,
+		"self":     c.Self(),
+		"epoch":    c.Epoch(),
+		"replicas": c.Replicas(),
+		"nodes":    c.Status(),
+		"graphs":   graphs,
+	})
+}

@@ -18,4 +18,9 @@ var (
 	ErrCancelled = errors.New("request cancelled")
 	// ErrMethodNotAllowed maps to 405: wrong HTTP method on a known path.
 	ErrMethodNotAllowed = errors.New("method not allowed")
+	// ErrUnavailable maps to 503 (+ Retry-After where the routing layer
+	// sets it): the cluster cannot serve this right now — placement set
+	// down, a promoted node still catching up, or membership views
+	// disagreeing mid-failover. Retrying is the correct client move.
+	ErrUnavailable = errors.New("temporarily unavailable")
 )

@@ -68,6 +68,10 @@ type MutateResponse struct {
 	// for memory-only daemons and while persistence is degraded (disk
 	// failure — the daemon keeps serving and self-heals by compaction).
 	Persisted bool `json:"persisted"`
+	// Replicated counts the cluster replicas that synchronously acked
+	// this batch before the response left (0 for single-node daemons
+	// and no-op batches; down replicas catch up on rejoin).
+	Replicated int `json:"replicated,omitempty"`
 	// Colors is the maintained coloring (present when includeColors).
 	Colors []uint32 `json:"colors,omitempty"`
 }
@@ -99,7 +103,13 @@ type MutateOutcome struct {
 // always acked, with the outcome's Persisted flag carrying the truth —
 // an error ack for an applied batch would invite client retries that
 // double-apply.
-func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool, persist func(version uint64, b dynamic.Batch) bool) (*MutateOutcome, error) {
+//
+// replicate, when non-nil, runs under the same lock BEFORE persist —
+// the cluster streaming hook: replicating before the local WAL append
+// means a crash between the two leaves the primary behind its
+// replicas (a clean tail catch-up on restart) and never ahead of them
+// with an unacknowledged orphan batch (a forked chain).
+func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool, persist func(version uint64, b dynamic.Batch) bool, replicate func(version uint64, b dynamic.Batch)) (*MutateOutcome, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.dyn == nil {
@@ -122,8 +132,14 @@ func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool, persist func(ve
 	// persistence, is NOT durable (earlier acked batches went unlogged),
 	// so the degraded flag decides when the hook isn't consulted.
 	persisted := persist != nil && !e.persistBroken.Load()
-	if persist != nil && res.Version != versionBefore {
-		persisted = persist(res.Version, b)
+	if res.Version != versionBefore {
+		if replicate != nil {
+			replicate(res.Version, b)
+		}
+		if persist != nil {
+			persisted = persist(res.Version, b)
+		}
+		e.lastBatchHash = batchHash(res.Version, &b)
 	}
 	out := &MutateOutcome{
 		Persisted:     persisted,
@@ -147,6 +163,9 @@ func (s *Server) handleGraphSub(w http.ResponseWriter, r *http.Request) {
 	case len(parts) == 1 && parts[0] != "":
 		if r.Method != http.MethodGet {
 			writeError(w, fmt.Errorf("%w: %s on /v1/graphs/{id} (want GET)", ErrMethodNotAllowed, r.Method))
+			return
+		}
+		if s.routeRead(w, r, parts[0], nil) {
 			return
 		}
 		e, err := s.reg.Get(parts[0])
@@ -176,11 +195,6 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 		s.mutateErrors.Add(1)
 		writeError(w, err)
 	}
-	entry, err := s.reg.Get(name)
-	if err != nil {
-		fail(err)
-		return
-	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxMutateBodyBytes+1))
 	if err != nil {
 		fail(fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
@@ -188,6 +202,38 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 	}
 	if len(body) > maxMutateBodyBytes {
 		fail(fmt.Errorf("%w: body exceeds %d bytes", ErrBadRequest, maxMutateBodyBytes))
+		return
+	}
+	// Mutations are writes: only the graph's active primary applies
+	// them; every other node proxies (the body travels along).
+	if s.routeWrite(w, r, name, body) {
+		return
+	}
+	entry, err := s.reg.Get(name)
+	if err != nil {
+		// We are this graph's active primary (routeWrite sent everyone
+		// else away) yet don't hold it: if a placement peer does, we
+		// missed its registration while down — rebuild and catch up
+		// instead of 404ing writes off the primary forever.
+		e, berr := s.bootstrapMissingGraph(name)
+		switch {
+		case berr != nil:
+			s.mutateErrors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, berr)
+			return
+		case e == nil:
+			fail(err) // no peer holds it either: a genuine 404
+			return
+		}
+		entry = e
+	}
+	// A just-promoted or just-rejoined primary must be caught up to
+	// everything its peers acked before it may mint new versions —
+	// otherwise two nodes assign the same version to different batches.
+	if err := s.ensureSynced(entry); err != nil {
+		s.mutateErrors.Add(1)
+		unavailable(w, err)
 		return
 	}
 	var req MutateRequest
@@ -210,7 +256,17 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 		return
 	}
 	defer s.mgr.releaseSlot()
-	out, err := entry.Mutate(batch, req.IncludeColors, s.persistBatch(entry))
+	// The replication hook streams the applied batch to the placement
+	// replicas before the WAL append and the ack (see Mutate); the
+	// count of synchronous acks lands in the response.
+	replicated := 0
+	var replicate func(uint64, dynamic.Batch)
+	if s.cl != nil {
+		replicate = func(version uint64, b dynamic.Batch) {
+			replicated = s.replicateBatch(entry, version, b)
+		}
+	}
+	out, err := entry.Mutate(batch, req.IncludeColors, s.persistBatch(entry), replicate)
 	if err != nil {
 		fail(err)
 		return
@@ -229,6 +285,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 		Graph:            name,
 		Version:          res.Version,
 		Persisted:        out.Persisted,
+		Replicated:       replicated,
 		N:                out.N,
 		M:                out.M,
 		AddedEdges:       res.AddedEdges,

@@ -110,6 +110,7 @@ func (s *Server) restoreGraph(rg store.RecoveredGraph, stats *RecoveryStats) err
 		dyn = dynamic.NewColored(base, mutateOptions)
 	}
 	if dyn != nil {
+		var lastHash uint64
 		for _, rec := range rg.Records {
 			res, err := dyn.Apply(rec.Batch)
 			if err != nil {
@@ -119,6 +120,7 @@ func (s *Server) restoreGraph(rg store.RecoveredGraph, stats *RecoveryStats) err
 				return fmt.Errorf("replay version diverged: WAL says %d, overlay reached %d",
 					rec.Version, res.Version)
 			}
+			lastHash = batchHash(rec.Version, &rec.Batch)
 			stats.ReplayedBatches++
 		}
 		// End-to-end sanity: the restored maintained coloring must be
@@ -133,6 +135,10 @@ func (s *Server) restoreGraph(rg store.RecoveredGraph, stats *RecoveryStats) err
 		}
 		entry.mu.Lock()
 		entry.dyn = dyn
+		// Re-arm the replication fork detector with the newest replayed
+		// record's fingerprint (0 — unknown — when the WAL was empty,
+		// e.g. right after a compaction folded it away).
+		entry.lastBatchHash = lastHash
 		entry.mu.Unlock()
 	}
 	return nil

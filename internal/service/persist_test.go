@@ -366,7 +366,7 @@ func TestPersistDegradeAndSelfHeal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Mutate(dynamic.Batch{AddEdges: []graph.Edge{{U: 1, V: 8}}}, false, nil); err != nil {
+	if _, err := e.Mutate(dynamic.Batch{AddEdges: []graph.Edge{{U: 1, V: 8}}}, false, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// The next mutation hits the gap guard, degrades, and schedules the

@@ -62,6 +62,15 @@ type GraphEntry struct {
 	// dyn is the mutable overlay + maintained coloring, nil until the
 	// first mutation (the common static case pays nothing).
 	dyn *dynamic.Colored
+	// lastBatchHash fingerprints the newest applied batch (see
+	// batchHash): carried on the replication stream so a replica can
+	// detect a forked version chain. 0 means unknown (fresh graph, or
+	// recovered from a compacted snapshot with an empty WAL).
+	lastBatchHash uint64
+	// syncedEpoch is the cluster epoch this node last verified it was
+	// caught up on this graph for (see Server.ensureSynced); writes
+	// re-verify after every membership transition.
+	syncedEpoch uint64
 	// stats is the structural summary of statsVer; recomputed lazily
 	// when the version moved.
 	stats    graph.Stats

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +45,7 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 	st    *store.Store // nil: memory-only
+	cl    *clusterState
 	// bg tracks fire-and-forget background work (threshold-triggered
 	// compactions); Close waits for it before unmapping snapshots.
 	bg sync.WaitGroup
@@ -58,6 +60,12 @@ type Server struct {
 	cacheInvalidations atomic.Int64
 	persistErrors      atomic.Int64
 	compactRequests    atomic.Int64
+
+	clusterProxied       atomic.Int64
+	clusterReplicated    atomic.Int64
+	clusterReplErrors    atomic.Int64
+	clusterHopRejections atomic.Int64
+	clusterCatchups      atomic.Int64
 }
 
 // NewServer builds a Server with a fresh registry and manager.
@@ -73,6 +81,10 @@ func NewServer(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("/v1/graphs/", s.handleGraphSub)
 	s.mux.HandleFunc("/v1/color", s.handleColor)
 	s.mux.HandleFunc("/v1/admin/compact", s.handleAdminCompact)
+	s.mux.HandleFunc("/v1/internal/replicate", s.handleReplicate)
+	s.mux.HandleFunc("/v1/internal/tail", s.handleTail)
+	s.mux.HandleFunc("/v1/internal/version", s.handleVersion)
+	s.mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -128,6 +140,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrMethodNotAllowed):
 		status = http.StatusMethodNotAllowed
+	case errors.Is(err, ErrUnavailable):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrCancelled):
 		// The run hit a deadline or the client went away. 504 is the
 		// closest standard status for "the work was cut off".
@@ -193,10 +207,29 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{"graphs": infos})
 	case http.MethodPost:
+		// Large edge lists compress an order of magnitude; accept
+		// Content-Encoding: gzip and bound BOTH the compressed read and
+		// the decompressed size (a tiny gzip bomb must not expand past
+		// the same ceiling a plain body gets; what the bytes may parse
+		// into is bounded separately by uploadLimits).
+		reader := io.Reader(r.Body)
+		if enc := r.Header.Get("Content-Encoding"); enc != "" {
+			if !strings.EqualFold(enc, "gzip") {
+				writeError(w, fmt.Errorf("%w: unsupported Content-Encoding %q (want gzip)", ErrBadRequest, enc))
+				return
+			}
+			gz, err := gzip.NewReader(io.LimitReader(r.Body, maxUploadBytes+1))
+			if err != nil {
+				writeError(w, fmt.Errorf("%w: reading gzip body: %v", ErrBadRequest, err))
+				return
+			}
+			defer gz.Close()
+			reader = gz
+		}
 		// Read one byte past the limit so an oversized body is rejected
 		// explicitly instead of being silently truncated into a
 		// misleading JSON parse error.
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+		body, err := io.ReadAll(io.LimitReader(reader, maxUploadBytes+1))
 		if err != nil {
 			writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
 			return
@@ -210,12 +243,23 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
 			return
 		}
+		// Registrations are writes: route to the graph's active primary
+		// (body is forwarded decompressed — the Content-Encoding header
+		// is not propagated).
+		if s.routeWrite(w, r, req.Name, body) {
+			return
+		}
 		entry, err := s.registerGraph(req)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		s.graphUploads.Add(1)
+		// As the graph's primary, replicate the registration to the
+		// placement peers (skipped for internal fan-out deliveries).
+		if s.cl != nil && r.Header.Get(replicatedHeader) == "" && s.cl.c.IsActivePrimary(req.Name) {
+			s.fanoutRegistration(req.Name, body)
+		}
 		writeJSON(w, http.StatusOK, s.infoOf(entry))
 	default:
 		writeError(w, fmt.Errorf("%w: %s on /v1/graphs (want GET or POST)", ErrMethodNotAllowed, r.Method))
@@ -309,6 +353,11 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
 		return
 	}
+	// Colorings are reads: nodes holding the graph (primary or replica)
+	// serve locally, everyone else proxies to the active primary.
+	if s.routeRead(w, r, req.Graph, body) {
+		return
+	}
 	resp, err := s.mgr.Color(r.Context(), req)
 	if err != nil {
 		s.colorErrors.Add(1)
@@ -359,7 +408,10 @@ type Metrics struct {
 	Store           *store.Stats `json:"store,omitempty"`
 	PersistErrors   int64        `json:"persistErrors"`
 	CompactRequests int64        `json:"compactRequests"`
-	SchemaVersions  struct {
+	// Cluster carries the routing/replication counters when this node
+	// is a member of a multi-node cluster.
+	Cluster        *ClusterMetrics `json:"cluster,omitempty"`
+	SchemaVersions struct {
 		AlgoRecord int `json:"algoRecord"`
 	} `json:"schemaVersions"`
 }
@@ -391,6 +443,19 @@ func (s *Server) SnapshotMetrics() Metrics {
 	if s.st != nil {
 		st := s.st.Stats()
 		m.Store = &st
+	}
+	if s.cl != nil {
+		m.Cluster = &ClusterMetrics{
+			Self:              s.cl.c.Self(),
+			Nodes:             len(s.cl.c.Nodes()),
+			Replicas:          s.cl.c.Replicas(),
+			Epoch:             s.cl.c.Epoch(),
+			Proxied:           s.clusterProxied.Load(),
+			ReplicatedBatches: s.clusterReplicated.Load(),
+			ReplicationErrors: s.clusterReplErrors.Load(),
+			HopRejections:     s.clusterHopRejections.Load(),
+			CatchupBatches:    s.clusterCatchups.Load(),
+		}
 	}
 	m.SchemaVersions.AlgoRecord = harness.AlgoRecordSchemaVersion
 	return m

@@ -316,6 +316,55 @@ func (s *Store) FoldState(name string) (snapVersion uint64, walRecords int64, er
 	return gs.meta.SnapshotVersion, walRecords, nil
 }
 
+// LastVersion reports the newest graph version the store holds durably
+// for name — the replication watermark a cluster peer can catch up to:
+// every record at or below it is recoverable from this data directory.
+func (s *Store) LastVersion(name string) (uint64, error) {
+	gs, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.lastVersion, nil
+}
+
+// TailRecords returns the durable mutation records for name with
+// version > after, in version order — the cluster catch-up feed: a
+// peer that is behind asks for the tail past its own version and
+// replays it through the same apply path the original mutations took.
+// When after predates the snapshot the WAL records start from (the
+// batches were folded by compaction), the tail cannot be served from
+// the log and the caller needs a full snapshot transfer instead
+// (ROADMAP: snapshot shipping); that case is an error naming the
+// snapshot version so the caller can tell it from a plain miss.
+func (s *Store) TailRecords(name string, after uint64) ([]WALRecord, error) {
+	gs, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal == nil {
+		return nil, fmt.Errorf("store: graph %q not persisted", name)
+	}
+	if after < gs.meta.SnapshotVersion {
+		return nil, fmt.Errorf("store: graph %q: records after %d are compacted into snapshot version %d (snapshot shipping needed)",
+			name, after, gs.meta.SnapshotVersion)
+	}
+	records, err := gs.wal.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	tail := records[:0]
+	for _, rec := range records {
+		if rec.Version > after {
+			tail = append(tail, rec)
+		}
+	}
+	return tail, nil
+}
+
 // AppendBatch durably logs one applied mutation batch. version is the
 // graph version after the batch. The second result asks the caller to
 // schedule a compaction (WAL past the size threshold). The service

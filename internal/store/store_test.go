@@ -556,3 +556,77 @@ func TestStoreRecoverIgnoresEmptyDir(t *testing.T) {
 		t.Fatalf("recovered %d graphs from empty dirs", len(recovered))
 	}
 }
+
+func TestTailRecordsAndLastVersion(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	g := testGraph(t)
+	if err := st.Register("tail", "spec", g, true); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := st.LastVersion("tail"); err != nil || v != 0 {
+		t.Fatalf("fresh LastVersion = %d, %v", v, err)
+	}
+	batches := []dynamic.Batch{
+		{AddEdges: []graph.Edge{{U: 0, V: 1}}},
+		{AddEdges: []graph.Edge{{U: 1, V: 2}}},
+		{DelEdges: []graph.Edge{{U: 0, V: 1}}},
+	}
+	for i, b := range batches {
+		if _, err := st.AppendBatch("tail", uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := st.LastVersion("tail"); err != nil || v != 3 {
+		t.Fatalf("LastVersion = %d, %v, want 3", v, err)
+	}
+	// Full tail from 0, partial tail from 2, empty tail from the head.
+	recs, err := st.TailRecords("tail", 0)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("TailRecords(0): %d records, %v", len(recs), err)
+	}
+	for i, rec := range recs {
+		if rec.Version != uint64(i+1) {
+			t.Fatalf("record %d has version %d", i, rec.Version)
+		}
+	}
+	if len(recs[2].Batch.DelEdges) != 1 {
+		t.Fatalf("record 3 batch did not round-trip: %+v", recs[2].Batch)
+	}
+	recs, err = st.TailRecords("tail", 2)
+	if err != nil || len(recs) != 1 || recs[0].Version != 3 {
+		t.Fatalf("TailRecords(2): %+v, %v", recs, err)
+	}
+	if recs, err = st.TailRecords("tail", 3); err != nil || len(recs) != 0 {
+		t.Fatalf("TailRecords(3): %+v, %v, want empty", recs, err)
+	}
+	// Appends racing tail reads must not disturb the append position.
+	if _, err := st.AppendBatch("tail", 4, dynamic.Batch{AddEdges: []graph.Edge{{U: 2, V: 3}}}); err != nil {
+		t.Fatalf("append after ReadAll: %v", err)
+	}
+	if recs, err = st.TailRecords("tail", 0); err != nil || len(recs) != 4 {
+		t.Fatalf("TailRecords after post-read append: %d records, %v", len(recs), err)
+	}
+	// Fold everything into a snapshot: the tail past the snapshot is
+	// empty, and a request from before it is an explicit "compacted"
+	// error, not a silent empty tail.
+	if err := st.Compact("tail", g, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err = st.TailRecords("tail", 4); err != nil || len(recs) != 0 {
+		t.Fatalf("post-compaction TailRecords(4): %+v, %v", recs, err)
+	}
+	if _, err = st.TailRecords("tail", 1); err == nil || !strings.Contains(err.Error(), "compacted") {
+		t.Fatalf("TailRecords(1) after compaction: %v, want compacted error", err)
+	}
+	if _, err := st.TailRecords("nope", 0); err == nil {
+		t.Fatal("TailRecords on unknown graph succeeded")
+	}
+	if _, err := st.LastVersion("nope"); err == nil {
+		t.Fatal("LastVersion on unknown graph succeeded")
+	}
+}

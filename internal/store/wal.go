@@ -217,6 +217,26 @@ func (w *WAL) repairTail() {
 	}
 }
 
+// ReadAll re-reads every valid record currently in the log, without
+// disturbing the append position: the file is reopened read-only, so
+// the append handle's offset and the broken/size bookkeeping stay
+// untouched. This is the tail-read hook cluster catch-up uses (a
+// rejoining or promoted node pulls the records it is missing from a
+// peer's WAL); callers serialize it against Append via the graphStore
+// lock, so the replay never sees a half-written record.
+func (w *WAL) ReadAll() ([]WALRecord, error) {
+	if w.closed {
+		return nil, fmt.Errorf("store: WAL %s is closed", w.path)
+	}
+	f, err := os.Open(w.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, _, _, err := replayWAL(f)
+	return records, err
+}
+
 // Size returns the current WAL size in bytes.
 func (w *WAL) Size() int64 { return w.size }
 
