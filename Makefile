@@ -3,7 +3,7 @@
 # in .github/workflows/ci.yml (TestMakefileMatchesWorkflow enforces it),
 # so local `make ci` and the workflow can never drift.
 
-.PHONY: ci fmt vet build test race bench json loadtest crashtest clustertest fuzz-smoke cover
+.PHONY: ci fmt vet build test race bench json loadtest crashtest clustertest chaostest fuzz-smoke cover
 
 ci: fmt vet build test race
 
@@ -20,7 +20,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/par/... ./internal/jp/... ./internal/service/... ./internal/cluster/...
+	go test -race ./internal/par/... ./internal/jp/... ./internal/service/... ./internal/cluster/... ./internal/faultinject/... ./internal/retry/...
 
 bench:
 	go test -run '^$$' -bench 'BenchmarkTable2Orderings|BenchmarkJP' -benchtime 3x .
@@ -53,6 +53,17 @@ crashtest:
 clustertest:
 	./scripts/clustertest.sh
 
+# chaostest is the fault-injection gate: a 3-node cluster booted with
+# -fault-injection and driven through the seeded failure matrix —
+# failed WAL fsyncs (degraded persistence + compaction self-heal), a
+# seeded slow replication path under verified load, compacted-away
+# records healed by automated snapshot resync, an isolated primary
+# fencing itself behind its expired lease, and a crash injected between
+# replication and the local WAL append, with colorload -resume proving
+# zero acked-mutation loss. Seeds via CHAOS_SEEDS.
+chaostest:
+	./scripts/chaostest.sh
+
 # fuzz-smoke gives each fuzz target a short budget (the CI gate; seed
 # corpora live in internal/graphio/testdata/fuzz and
 # internal/store/testdata/fuzz). Raise FUZZTIME locally for a real hunt.
@@ -65,7 +76,8 @@ fuzz-smoke:
 	go test ./internal/store -run '^$$' -fuzz 'FuzzWAL$$' -fuzztime $(FUZZTIME)
 
 # cover enforces the >= 80% statement-coverage floor on the core
-# packages (graph, jp, order, spec, verify, dynamic, store) and leaves
+# packages (graph, jp, order, spec, verify, dynamic, store, cluster,
+# faultinject, retry) and leaves
 # the merged profile in coverage.out (uploaded as a CI artifact).
 cover:
 	./scripts/coverage.sh

@@ -114,6 +114,35 @@
 // replication watermarks via:
 //
 //	curl -s localhost:8712/v1/cluster/status
+//
+// # Leases and self-healing
+//
+// On clusters of 3+ members the primary additionally holds an
+// epoch-stamped write lease granted by a majority of the member set
+// (term: -cluster-lease; defaults to 4x the probe interval; negative
+// disables). A primary isolated from the majority stops acking writes
+// within one lease term — requests get a 503 naming the fence — so a
+// healed partition can never produce two acked histories. Replicas a
+// WAL tail cannot heal (records compacted away everywhere, a chain
+// forked below a provably-ahead primary, or an upload-format graph
+// whose bytes the node never saw) resync automatically: a full
+// checksummed snapshot ships from the active primary, the remaining
+// tail replays on top, and the node rejoins with zero manual steps.
+// Lease terms, grants and the leaseRenewals/leaseFenced/resyncs
+// counters surface in /v1/cluster/status and /metrics.
+//
+// # Fault injection
+//
+// -fault-injection (never in production) arms the deterministic chaos
+// surface: a seed-driven schedule of failed WAL fsyncs, delayed or
+// blackholed RPCs and process crashes at chosen lines, parsed from
+// -faults (or COLORD_FAULTS) at startup and rearmed at runtime via
+// POST /v1/admin/faults — see internal/faultinject for the rule
+// grammar and scripts/chaostest.sh for the seeded failure matrix CI
+// drives through it:
+//
+//	colord ... -fault-injection \
+//	       -faults 'point=wal.fsync,mode=fail,after=2,count=1'
 package main
 
 import (
@@ -128,6 +157,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faultinject"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -148,6 +178,11 @@ func main() {
 		probeIvl     = flag.Duration("cluster-probe-interval", cluster.DefaultProbeInterval, "liveness probe period")
 		failAfter    = flag.Int("cluster-fail-after", cluster.DefaultFailAfter, "consecutive probe/transport failures before a peer is marked down")
 		replTimeout  = flag.Duration("cluster-replication-timeout", service.DefaultReplicationTimeout, "per-replica timeout of one synchronous replication call")
+		proxyTimeout = flag.Duration("cluster-proxy-timeout", service.DefaultProxyTimeout, "end-to-end deadline of one proxied client request, internal retries included")
+		leaseDur     = flag.Duration("cluster-lease", 0, "primary write-lease term; 0 picks 4x the probe interval on clusters of 3+ members, negative disables fencing entirely")
+
+		faultGate = flag.Bool("fault-injection", false, "enable the deterministic fault-injection surface (POST /v1/admin/faults and the -faults flag); never enable in production")
+		faultSpec = flag.String("faults", "", "fault schedule to arm at startup (requires -fault-injection); also read from COLORD_FAULTS when the flag is empty")
 	)
 	flag.Parse()
 
@@ -156,6 +191,25 @@ func main() {
 		CacheEntries:   *cacheN,
 		DefaultTimeout: *timeout,
 	})
+	if spec := *faultSpec; *faultGate {
+		srv.EnableFaultAdmin()
+		if spec == "" {
+			spec = os.Getenv("COLORD_FAULTS")
+		}
+		if spec != "" {
+			in, err := faultinject.Parse(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "colord: -faults: %v\n", err)
+				os.Exit(2)
+			}
+			faultinject.Enable(in)
+			fmt.Printf("colord: fault injection armed: %s\n", in.Spec())
+		}
+	} else if *faultSpec != "" {
+		fmt.Fprintln(os.Stderr, "colord: -faults requires -fault-injection")
+		os.Exit(2)
+	}
+
 	if *dataDir != "" {
 		st, err := store.Open(store.Options{Dir: *dataDir, CompactBytes: *compact})
 		if err != nil {
@@ -181,23 +235,42 @@ func main() {
 		if *clusterPeers != "" {
 			peers = strings.Split(*clusterPeers, ",")
 		}
+		// Lease auto-sizing: majority-grant leases need 3+ members to
+		// mean anything (with 2, losing either node loses the majority),
+		// and a term of a few probe intervals keeps the failover pause —
+		// the old grant running out — the same order as failure detection.
+		lease := *leaseDur
+		if lease == 0 && memberCount(*clusterSelf, peers) >= 3 {
+			lease = 4 * *probeIvl
+		}
+		if lease < 0 {
+			lease = 0
+		}
 		c, err := cluster.New(cluster.Config{
 			Self:          *clusterSelf,
 			Peers:         peers,
 			Replicas:      *clusterRepl,
 			ProbeInterval: *probeIvl,
 			FailAfter:     *failAfter,
+			LeaseDuration: lease,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "colord: %v\n", err)
 			os.Exit(2)
 		}
 		clu = c
-		srv.AttachCluster(c, *replTimeout)
+		srv.AttachCluster(c, service.ClusterOptions{
+			ReplicationTimeout: *replTimeout,
+			ProxyTimeout:       *proxyTimeout,
+		})
 		if *dataDir == "" {
 			fmt.Fprintln(os.Stderr, "colord: warning: clustering without -data-dir — this node cannot serve WAL tails to peers catching up")
 		}
-		fmt.Printf("colord: cluster member %s of %d nodes (replicas %d)\n", c.Self(), len(c.Nodes()), c.Replicas())
+		if d := c.LeaseDuration(); d > 0 {
+			fmt.Printf("colord: cluster member %s of %d nodes (replicas %d, lease %s)\n", c.Self(), len(c.Nodes()), c.Replicas(), d)
+		} else {
+			fmt.Printf("colord: cluster member %s of %d nodes (replicas %d, leases off)\n", c.Self(), len(c.Nodes()), c.Replicas())
+		}
 	}
 	if *preload != "" {
 		for _, pair := range strings.Split(*preload, ",") {
@@ -254,4 +327,18 @@ func main() {
 		}
 		fmt.Printf("colord: drained and flushed, bye\n")
 	}
+}
+
+// memberCount is the effective cluster size: self plus every distinct
+// peer URL that is not self (mirrors cluster.New's normalization
+// closely enough for the lease auto-sizing decision).
+func memberCount(self string, peers []string) int {
+	seen := map[string]bool{strings.TrimRight(strings.TrimSpace(self), "/"): true}
+	for _, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			seen[p] = true
+		}
+	}
+	return len(seen)
 }

@@ -25,7 +25,7 @@
 //	colorload [-addr http://127.0.0.1:8712[,http://other:8712...]] [-graph kron12]
 //	          [-spec kron:12] [-algos JP-ADG,DEC-ADG-ITR] [-seeds 4]
 //	          [-c 8] [-n 200] [-eps 0.01] [-verify]
-//	          [-mutate-frac 0.2] [-mutate-batch 8]
+//	          [-mutate-frac 0.2] [-mutate-batch 8] [-request-timeout 120s]
 //
 // The target graph is registered first (idempotent): a run needs
 // nothing but a listening colord.
@@ -61,6 +61,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -94,29 +95,65 @@ func (c *client) base() string {
 	return c.endpoints[int(c.rr.Add(1))%len(c.endpoints)]
 }
 
+// A 503 from colord is a transient, self-describing condition — a
+// failover pause, a lease wait, a replica still catching up — and the
+// server names its own expected pause in Retry-After. Bounded re-sends
+// honoring that header turn a cluster's sub-second failover into
+// latency instead of an error; the round-robin base() means each
+// attempt may also land on a different node, routing around the one
+// that is stalled.
+const (
+	unavailRetries   = 4
+	unavailFlatDelay = 250 * time.Millisecond
+	unavailMaxDelay  = 5 * time.Second
+)
+
 func (c *client) postJSON(path string, req, resp interface{}) (int, error) {
 	data, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
+	for attempt := 0; ; attempt++ {
+		status, wait, err := c.postOnce(path, data, resp)
+		if status != http.StatusServiceUnavailable || attempt >= unavailRetries {
+			return status, err
+		}
+		if wait <= 0 {
+			wait = unavailFlatDelay
+		}
+		if wait > unavailMaxDelay {
+			wait = unavailMaxDelay
+		}
+		time.Sleep(wait)
+	}
+}
+
+// postOnce is one HTTP round trip. On a non-OK status it also surfaces
+// the server's Retry-After as a duration (0 when absent or unparsable)
+// so postJSON can pace its re-sends by the server's own estimate.
+func (c *client) postOnce(path string, data []byte, resp interface{}) (int, time.Duration, error) {
 	r, err := c.http.Post(c.base()+path, "application/json", bytes.NewReader(data))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer r.Body.Close()
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return r.StatusCode, err
+		return r.StatusCode, 0, err
 	}
 	if r.StatusCode != http.StatusOK {
-		return r.StatusCode, fmt.Errorf("status %d: %s", r.StatusCode, strings.TrimSpace(string(body)))
+		var wait time.Duration
+		if s, perr := strconv.Atoi(r.Header.Get("Retry-After")); perr == nil && s >= 0 {
+			wait = time.Duration(s) * time.Second
+		}
+		return r.StatusCode, wait, fmt.Errorf("status %d: %s", r.StatusCode, strings.TrimSpace(string(body)))
 	}
 	if resp != nil {
 		if err := json.Unmarshal(body, resp); err != nil {
-			return r.StatusCode, err
+			return r.StatusCode, 0, err
 		}
 	}
-	return r.StatusCode, nil
+	return r.StatusCode, 0, nil
 }
 
 func colorsHash(colors []uint32) uint64 {
@@ -383,6 +420,7 @@ func main() {
 		mutLog  = flag.String("mutation-log", "", "journal sent mutation batches to this file (enables -resume later)")
 		resume  = flag.Bool("resume", false, "rebuild the local replica by replaying -mutation-log instead of requiring a fresh graph")
 		tolReq  = flag.Bool("tolerate-request-errors", false, "exit 0 when the only failures are transport errors (server killed mid-run); verification failures still fail")
+		reqTO   = flag.Duration("request-timeout", 120*time.Second, "per-request HTTP timeout (lower it when exercising fault injection so stalled requests fail fast)")
 	)
 	flag.Parse()
 	algoList := strings.Split(*algos, ",")
@@ -417,7 +455,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "colorload: -addr must name at least one endpoint")
 		os.Exit(2)
 	}
-	cl := &client{endpoints: endpoints, http: &http.Client{Timeout: 120 * time.Second}}
+	if *reqTO <= 0 {
+		fmt.Fprintln(os.Stderr, "colorload: -request-timeout must be positive")
+		os.Exit(2)
+	}
+	cl := &client{endpoints: endpoints, http: &http.Client{Timeout: *reqTO}}
 
 	// Register the graph (idempotent for equal specs).
 	var info struct {

@@ -30,6 +30,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/retry"
 )
 
 // Config parameterizes New.
@@ -51,6 +54,14 @@ type Config struct {
 	// FailAfter is how many consecutive failures (probes or reported
 	// transport errors) mark a node down (<= 0: DefaultFailAfter).
 	FailAfter int
+	// LeaseDuration enables primary write leases (see lease.go): before
+	// acking a write, the active primary must hold unexpired grants
+	// from a majority of the FULL member set, renewed when under a
+	// quarter term remains. 0 disables leases (the pre-lease fail-stop
+	// behavior — failback races are detected, not prevented). Sensible
+	// values are a small multiple of ProbeInterval; colord's auto mode
+	// uses 4x.
+	LeaseDuration time.Duration
 }
 
 // Defaults for the zero Config values.
@@ -86,11 +97,14 @@ type Cluster struct {
 	replicas  int
 	interval  time.Duration
 	failAfter int
+	leaseDur  time.Duration
 	client    *http.Client
 
 	mu    sync.Mutex
 	state map[string]*nodeState
 	epoch atomic.Uint64
+
+	leaseTable
 
 	startOnce sync.Once
 	stop      chan struct{}
@@ -145,13 +159,17 @@ func New(cfg Config) (*Cluster, error) {
 	if failAfter <= 0 {
 		failAfter = DefaultFailAfter
 	}
+	if cfg.LeaseDuration < 0 {
+		return nil, fmt.Errorf("cluster: LeaseDuration must be >= 0")
+	}
 	c := &Cluster{
 		self:      self,
 		nodes:     nodes,
 		replicas:  r,
 		interval:  interval,
 		failAfter: failAfter,
-		client:    &http.Client{Timeout: timeout},
+		leaseDur:  cfg.LeaseDuration,
+		client:    &http.Client{Timeout: timeout, Transport: faultinject.Transport(nil)},
 		state:     make(map[string]*nodeState),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -283,7 +301,11 @@ func (c *Cluster) Stop() {
 
 func (c *Cluster) probeLoop() {
 	defer close(c.done)
-	t := time.NewTicker(c.interval)
+	// ±20% jitter per round: a fleet restarted together (deploy, power
+	// event) must not probe in lockstep forever — synchronized rounds
+	// hit every peer with a burst of /healthz at the same instant and
+	// make failure detection latencies correlate across the fleet.
+	t := time.NewTimer(retry.Jittered(c.interval, 0.2, nil))
 	defer t.Stop()
 	c.probeAll()
 	for {
@@ -292,6 +314,7 @@ func (c *Cluster) probeLoop() {
 			return
 		case <-t.C:
 			c.probeAll()
+			t.Reset(retry.Jittered(c.interval, 0.2, nil))
 		}
 	}
 }

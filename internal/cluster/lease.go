@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Primary write leases. The liveness view alone cannot prevent a
+// fork: a primary cut off from its peers still believes itself the
+// active primary (everyone else looks down from where it stands) and
+// would happily keep acking writes that the rest of the cluster —
+// having promoted a replica — will never see. A lease turns "am I the
+// primary?" from a local opinion into a majority fact: before acking a
+// write, the primary must hold unexpired grants from a MAJORITY of the
+// full member set (its own grant included), and a granter only grants
+// to the node ITS view names the active primary, never while an
+// unexpired grant to a different holder exists. An isolated primary
+// cannot reach a majority and fences itself (writes 503 until the
+// partition heals); a healed ex-primary is refused because its peers'
+// views have moved on. The price is availability math — writes need a
+// majority of members reachable — and a failover pause of up to one
+// lease duration while the old grant runs out, which is why the lease
+// is a small multiple of the probe interval.
+//
+// The grant table lives here (membership owns the authority question);
+// the holder side — renewal, fencing, the /v1/internal/lease RPC —
+// lives in the service layer.
+
+// leaseGrant is one granter-side promise: holder may act as graph's
+// write primary until expires.
+type leaseGrant struct {
+	holder  string
+	expires time.Time
+}
+
+// LeaseDuration returns the configured lease length (0: leases
+// disabled).
+func (c *Cluster) LeaseDuration() time.Duration { return c.leaseDur }
+
+// Majority is the grant quorum: more than half of the FULL member set,
+// dead or alive — a partitioned minority must not be able to assemble
+// it, which is the entire point.
+func (c *Cluster) Majority() int { return len(c.nodes)/2 + 1 }
+
+// GrantLease evaluates one lease request from holder for graph at time
+// now. Granted only when holder is who THIS node believes is the
+// graph's active primary and no unexpired grant to a different holder
+// exists; a repeated grant to the same holder extends the term. The
+// refusal reason is returned for observability (it travels back to the
+// requester and into test assertions).
+func (c *Cluster) GrantLease(graph, holder string, now time.Time) (granted bool, expires time.Time, reason string) {
+	if c.leaseDur <= 0 {
+		return false, time.Time{}, "leases disabled"
+	}
+	holder = normalizeURL(holder)
+	ap, ok := c.ActivePrimary(graph)
+	if !ok {
+		return false, time.Time{}, "no alive node in the placement set"
+	}
+	if ap != holder {
+		return false, time.Time{}, "holder is not the active primary from this node's view (" + ap + " is)"
+	}
+	c.leaseMu.Lock()
+	defer c.leaseMu.Unlock()
+	if c.leases == nil {
+		c.leases = make(map[string]leaseGrant)
+	}
+	if g, exists := c.leases[graph]; exists && g.holder != holder && now.Before(g.expires) {
+		// The old holder's term must run out before anyone else can be
+		// believed — even if it looks down from here, it may be alive and
+		// acking on the far side of a partition.
+		return false, time.Time{}, "unexpired grant to " + g.holder
+	}
+	expires = now.Add(c.leaseDur)
+	c.leases[graph] = leaseGrant{holder: holder, expires: expires}
+	return true, expires, ""
+}
+
+// LeaseGrantStatus is the observability view of one granter-side lease.
+type LeaseGrantStatus struct {
+	Graph     string `json:"graph"`
+	Holder    string `json:"holder"`
+	ExpiresMs int64  `json:"expiresMs"` // remaining term, <= 0: expired
+}
+
+// LeaseGrants snapshots the grant table (expired grants included, with
+// non-positive remaining terms — they still block nothing, but they
+// explain recent history in /v1/cluster/status).
+func (c *Cluster) LeaseGrants(now time.Time) []LeaseGrantStatus {
+	c.leaseMu.Lock()
+	defer c.leaseMu.Unlock()
+	out := make([]LeaseGrantStatus, 0, len(c.leases))
+	for graph, g := range c.leases {
+		out = append(out, LeaseGrantStatus{
+			Graph:     graph,
+			Holder:    g.holder,
+			ExpiresMs: g.expires.Sub(now).Milliseconds(),
+		})
+	}
+	return out
+}
+
+// leaseTable is embedded in Cluster (separate mutex: grant decisions
+// read the liveness state via ActivePrimary, which takes c.mu — the
+// grant table must not nest inside it).
+type leaseTable struct {
+	leaseMu sync.Mutex
+	leases  map[string]leaseGrant
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func leaseCluster(t *testing.T, self string, dur time.Duration) *Cluster {
+	t.Helper()
+	return mustNew(t, Config{
+		Self:          self,
+		Peers:         []string{"http://n1", "http://n2", "http://n3"},
+		Replicas:      2,
+		LeaseDuration: dur,
+	})
+}
+
+func TestMajority(t *testing.T) {
+	cases := []struct{ members, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3},
+	}
+	for _, tc := range cases {
+		peers := make([]string, tc.members)
+		for i := range peers {
+			peers[i] = "http://n" + string(rune('1'+i))
+		}
+		c := mustNew(t, Config{Self: peers[0], Peers: peers})
+		if got := c.Majority(); got != tc.want {
+			t.Fatalf("Majority of %d members = %d, want %d", tc.members, got, tc.want)
+		}
+	}
+}
+
+func TestGrantLeaseRules(t *testing.T) {
+	const g = "lease-g"
+	c := leaseCluster(t, "http://n1", time.Second)
+	primary, ok := c.ActivePrimary(g)
+	if !ok {
+		t.Fatal("no active primary")
+	}
+	var other string
+	for _, n := range c.Nodes() {
+		if n != primary {
+			other = n
+			break
+		}
+	}
+	now := time.Unix(1000, 0)
+
+	// A non-primary holder is refused.
+	if granted, _, reason := c.GrantLease(g, other, now); granted || !strings.Contains(reason, "not the active primary") {
+		t.Fatalf("grant to non-primary: granted=%v reason=%q", granted, reason)
+	}
+	// The active primary is granted, and re-granted (term extension).
+	granted, exp1, _ := c.GrantLease(g, primary, now)
+	if !granted || !exp1.Equal(now.Add(time.Second)) {
+		t.Fatalf("grant to primary: granted=%v expires=%v", granted, exp1)
+	}
+	granted, exp2, _ := c.GrantLease(g, primary, now.Add(300*time.Millisecond))
+	if !granted || !exp2.After(exp1) {
+		t.Fatalf("re-grant: granted=%v expires=%v (prev %v)", granted, exp2, exp1)
+	}
+
+	// Demote the primary: the view moves to the next placement member,
+	// but the unexpired grant still blocks the new holder...
+	c.ReportFailure(primary, nil)
+	c.ReportFailure(primary, nil)
+	if c.Alive(primary) {
+		t.Fatal("primary still alive after FailAfter failures")
+	}
+	next, ok := c.ActivePrimary(g)
+	if !ok || next == primary {
+		t.Fatalf("no promotion: next=%q", next)
+	}
+	if granted, _, reason := c.GrantLease(g, next, now.Add(500*time.Millisecond)); granted || !strings.Contains(reason, "unexpired grant") {
+		t.Fatalf("promoted holder granted while the old lease lives: granted=%v reason=%q", granted, reason)
+	}
+	// ...until it runs out.
+	if granted, _, reason := c.GrantLease(g, next, exp2.Add(time.Millisecond)); !granted {
+		t.Fatalf("promoted holder refused after expiry: %q", reason)
+	}
+	// And the demoted ex-primary is refused by this view.
+	if granted, _, reason := c.GrantLease(g, primary, exp2.Add(time.Second)); granted || !strings.Contains(reason, "not the active primary") {
+		t.Fatalf("demoted ex-primary granted: granted=%v reason=%q", granted, reason)
+	}
+
+	// The grant table surfaces in status form.
+	grants := c.LeaseGrants(exp2.Add(time.Millisecond))
+	if len(grants) != 1 || grants[0].Graph != g || grants[0].Holder != next {
+		t.Fatalf("LeaseGrants = %+v", grants)
+	}
+}
+
+func TestGrantLeaseDisabledAndNoPrimary(t *testing.T) {
+	const g = "lease-g"
+	// LeaseDuration 0: every request refused.
+	c := leaseCluster(t, "http://n1", 0)
+	if c.LeaseDuration() != 0 {
+		t.Fatalf("LeaseDuration = %v", c.LeaseDuration())
+	}
+	primary, _ := c.ActivePrimary(g)
+	if granted, _, reason := c.GrantLease(g, primary, time.Now()); granted || reason != "leases disabled" {
+		t.Fatalf("disabled lease granted: %v %q", granted, reason)
+	}
+	// Negative durations are a config error.
+	if _, err := New(Config{Self: "http://n1", LeaseDuration: -time.Second}); err == nil {
+		t.Fatal("negative LeaseDuration accepted")
+	}
+	// Whole placement set down: nothing to grant to. Pick a graph whose
+	// placement excludes self (self is always alive), then kill both
+	// placement members.
+	c = leaseCluster(t, "http://n1", time.Second)
+	name := ""
+	for i := 0; i < 100 && name == ""; i++ {
+		cand := "probe-" + strings.Repeat("x", i%7) + string(rune('a'+i%26))
+		if !c.OwnsLocally(cand) && !inSet(c.Placement(cand), c.Self()) {
+			name = cand
+		}
+	}
+	if name == "" {
+		t.Fatal("no graph placed off-self in 100 tries")
+	}
+	for _, n := range c.Placement(name) {
+		c.ReportFailure(n, nil)
+		c.ReportFailure(n, nil)
+	}
+	if _, ok := c.ActivePrimary(name); ok {
+		t.Fatal("placement still has an active primary")
+	}
+	if granted, _, reason := c.GrantLease(name, "http://n2", time.Now()); granted || !strings.Contains(reason, "no alive node") {
+		t.Fatalf("grant with empty placement: %v %q", granted, reason)
+	}
+}
+
+func inSet(set []string, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

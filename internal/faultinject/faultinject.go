@@ -1,0 +1,321 @@
+// Package faultinject turns the failure modes the cluster claims to
+// survive into reproducible test inputs: a deterministic, seed-driven
+// fault schedule injected behind the existing RPC transport and the
+// store's WAL/snapshot write hooks. Production pays one atomic load
+// per instrumented point while no schedule is armed.
+//
+// A schedule is a semicolon-separated list of rules; each rule is a
+// comma-separated list of key=value fields:
+//
+//	point=wal.fsync,mode=fail,after=2,count=1
+//	point=rpc,label=:8763,mode=blackhole
+//	point=rpc,label=/v1/internal/replicate,mode=delay,delay=300ms,prob=0.5,seed=7
+//	point=crash.after-replicate,mode=crash,after=3,count=1
+//
+// Fields:
+//
+//	point  (required) the instrumented site: wal.fsync, snapshot.write,
+//	       crash.after-replicate, rpc
+//	label  substring match against the site's label (a WAL path, an
+//	       outbound "METHOD url"); empty matches everything
+//	mode   (required) fail | delay | blackhole | crash
+//	delay  sleep duration for mode=delay (default 100ms)
+//	after  skip the first N matching hits (default 0)
+//	count  fire at most M times (default unlimited)
+//	prob   fire each eligible hit with probability P in (0,1]
+//	seed   the deterministic stream prob draws from (default 1): the
+//	       k-th eligible hit fires iff splitmix64(seed, k) < P — the
+//	       same seed always yields the same fire pattern
+//
+// Modes: fail returns an injected error from the point; delay sleeps
+// (bounded by the request context at transport points) then proceeds;
+// blackhole (transport only) absorbs the RPC until its context
+// expires — a partition, as the retry/timeout paths experience it;
+// crash terminates the process via os.Exit(3) — kill -9 at a chosen
+// line instead of at a random scheduler whim.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Instrumented points. The store and service layers pass these
+// constants so schedules and code cannot drift apart on spelling.
+const (
+	// PointWALFsync fires inside WAL.Append between the record write
+	// and the fsync; a "fail" there is exactly a failed fsync (the
+	// append rolls its tail back and degraded persistence begins).
+	PointWALFsync = "wal.fsync"
+	// PointSnapshotWrite fires at the head of WriteSnapshotFile.
+	PointSnapshotWrite = "snapshot.write"
+	// PointCrashAfterReplicate fires in the primary's mutate path after
+	// the batch replicated to the placement peers but before the local
+	// WAL append — the nastiest crash window the replication design
+	// argues about (the primary must come back BEHIND its replicas).
+	PointCrashAfterReplicate = "crash.after-replicate"
+	// PointRPC fires in the outbound HTTP transport (proxy, replication,
+	// catch-up, lease and probe clients); the label is "METHOD url".
+	PointRPC = "rpc"
+)
+
+// Mode is what an armed rule does when it fires.
+type Mode int
+
+const (
+	ModeFail Mode = iota + 1
+	ModeDelay
+	ModeBlackhole
+	ModeCrash
+)
+
+var modeNames = map[string]Mode{
+	"fail":      ModeFail,
+	"delay":     ModeDelay,
+	"blackhole": ModeBlackhole,
+	"crash":     ModeCrash,
+}
+
+func (m Mode) String() string {
+	for name, v := range modeNames {
+		if v == m {
+			return name
+		}
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ErrInjected is the base of every error a "fail" rule produces;
+// callers and tests match it with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// exit is swapped out by the crash-mode test; production crashes for
+// real, which is the point.
+var exit func(int) = os.Exit
+
+// rule is one parsed schedule entry with its deterministic counters.
+type rule struct {
+	point string
+	label string
+	mode  Mode
+	delay time.Duration
+	after int64
+	count int64 // 0: unlimited
+	prob  float64
+	seed  uint64
+
+	hits  atomic.Int64 // matching evaluations
+	fired atomic.Int64 // times the rule actually fired
+}
+
+// Injector is one armed schedule. Immutable after Parse; the counters
+// inside advance atomically.
+type Injector struct {
+	spec  string
+	rules []*rule
+}
+
+// Parse compiles a schedule spec. An empty (or all-whitespace) spec
+// yields a valid empty Injector — Enable(empty) is equivalent to
+// Disable().
+func Parse(spec string) (*Injector, error) {
+	in := &Injector{spec: strings.TrimSpace(spec)}
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		r := &rule{prob: 1, seed: 1, delay: 100 * time.Millisecond}
+		for _, field := range strings.Split(rs, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: rule %q: field %q is not key=value", rs, field)
+			}
+			var err error
+			switch key {
+			case "point":
+				r.point = val
+			case "label":
+				r.label = val
+			case "mode":
+				m, ok := modeNames[val]
+				if !ok {
+					return nil, fmt.Errorf("faultinject: rule %q: unknown mode %q (want fail|delay|blackhole|crash)", rs, val)
+				}
+				r.mode = m
+			case "delay":
+				r.delay, err = time.ParseDuration(val)
+			case "after":
+				r.after, err = strconv.ParseInt(val, 10, 64)
+			case "count":
+				r.count, err = strconv.ParseInt(val, 10, 64)
+			case "prob":
+				r.prob, err = strconv.ParseFloat(val, 64)
+				if err == nil && (r.prob <= 0 || r.prob > 1) {
+					return nil, fmt.Errorf("faultinject: rule %q: prob must be in (0,1]", rs)
+				}
+			case "seed":
+				r.seed, err = strconv.ParseUint(val, 10, 64)
+			default:
+				return nil, fmt.Errorf("faultinject: rule %q: unknown field %q", rs, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: rule %q: field %q: %v", rs, field, err)
+			}
+		}
+		if r.point == "" {
+			return nil, fmt.Errorf("faultinject: rule %q: point= is required", rs)
+		}
+		if r.mode == 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: mode= is required", rs)
+		}
+		if r.after < 0 || r.count < 0 || r.delay < 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: after/count/delay must be non-negative", rs)
+		}
+		in.rules = append(in.rules, r)
+	}
+	return in, nil
+}
+
+// Spec returns the schedule text the injector was parsed from.
+func (in *Injector) Spec() string { return in.spec }
+
+// RuleStatus is the observability view of one armed rule.
+type RuleStatus struct {
+	Point string `json:"point"`
+	Label string `json:"label,omitempty"`
+	Mode  string `json:"mode"`
+	Hits  int64  `json:"hits"`
+	Fired int64  `json:"fired"`
+}
+
+// Status snapshots every rule's hit/fire counters (the GET half of
+// colord's /v1/admin/faults endpoint, and what chaostest asserts on).
+func (in *Injector) Status() []RuleStatus {
+	out := make([]RuleStatus, len(in.rules))
+	for i, r := range in.rules {
+		out[i] = RuleStatus{
+			Point: r.point,
+			Label: r.label,
+			Mode:  r.mode.String(),
+			Hits:  r.hits.Load(),
+			Fired: r.fired.Load(),
+		}
+	}
+	return out
+}
+
+// splitmix64 is the deterministic per-hit stream prob draws from.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fault is one firing decision.
+type Fault struct {
+	Mode  Mode
+	Delay time.Duration
+	Err   error
+}
+
+// eval runs one (point, label) hit through the schedule and returns
+// the first firing rule's fault, or the zero Fault.
+func (in *Injector) eval(point, label string) Fault {
+	for _, r := range in.rules {
+		if r.point != point {
+			continue
+		}
+		if r.label != "" && !strings.Contains(label, r.label) {
+			continue
+		}
+		k := r.hits.Add(1)
+		if k <= r.after {
+			continue
+		}
+		if r.count > 0 && r.fired.Load() >= r.count {
+			continue
+		}
+		if r.prob < 1 {
+			// Deterministic draw: hit ordinal k under the rule's seed.
+			draw := float64(splitmix64(r.seed^uint64(k))>>11) / float64(1<<53)
+			if draw >= r.prob {
+				continue
+			}
+		}
+		r.fired.Add(1)
+		switch r.mode {
+		case ModeFail:
+			return Fault{Mode: ModeFail, Err: fmt.Errorf("%w: %s (%s)", ErrInjected, point, label)}
+		case ModeDelay:
+			return Fault{Mode: ModeDelay, Delay: r.delay}
+		case ModeBlackhole:
+			return Fault{Mode: ModeBlackhole}
+		case ModeCrash:
+			return Fault{Mode: ModeCrash}
+		}
+	}
+	return Fault{}
+}
+
+// active is the process-global armed schedule; nil when disabled.
+var active atomic.Pointer[Injector]
+
+// Enable arms in process-wide (nil, or an empty schedule, disarms).
+func Enable(in *Injector) {
+	if in != nil && len(in.rules) == 0 {
+		in = nil
+	}
+	active.Store(in)
+}
+
+// Disable disarms fault injection.
+func Disable() { active.Store(nil) }
+
+// Active returns the armed injector, nil when disabled.
+func Active() *Injector { return active.Load() }
+
+// Fire evaluates one hit of the named point. The zero Fault (and zero
+// cost beyond one atomic load) when nothing is armed. Callers that
+// cannot honor a mode treat it as a no-op.
+func Fire(point, label string) Fault {
+	in := active.Load()
+	if in == nil {
+		return Fault{}
+	}
+	return in.eval(point, label)
+}
+
+// Check is the synchronous hook for non-transport points: a delay
+// fault sleeps here, a fail fault returns its error, a crash fault
+// terminates the process (os.Exit(3) — deliberately not a panic, so
+// no defer can soften the "crash"). Returns nil when disarmed or when
+// no rule fires.
+func Check(point, label string) error {
+	f := Fire(point, label)
+	switch f.Mode {
+	case ModeDelay:
+		time.Sleep(f.Delay)
+	case ModeFail:
+		return f.Err
+	case ModeCrash, ModeBlackhole: // blackhole degrades to crash-free stall-free no-op here
+		if f.Mode == ModeCrash {
+			fmt.Fprintf(os.Stderr, "faultinject: crash at %s (%s)\n", point, label)
+			exit(3)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// NOTE: the injector is process-global; tests that arm it must not run
+// in parallel and must disarm on exit.
+
+func arm(t *testing.T, spec string) *Injector {
+	t.Helper()
+	in, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	Enable(in)
+	t.Cleanup(Disable)
+	return in
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"mode=fail",                         // missing point
+		"point=wal.fsync",                   // missing mode
+		"point=rpc,mode=weird",              // unknown mode
+		"point=rpc,mode=fail,bogus=1",       // unknown field
+		"point=rpc,mode=fail,after=x",       // bad int
+		"point=rpc,mode=fail,prob=1.5",      // prob out of range
+		"point=rpc,mode=fail,prob=0",        // prob out of range
+		"point=rpc,mode=delay,delay=nope",   // bad duration
+		"point=rpc,mode=fail,after=-1",      // negative
+		"point=rpc,mode=fail,label",         // not key=value
+		"point=rpc,mode=fail;point=x",       // second rule missing mode
+		"point=rpc,mode=fail,count=notanum", // bad count
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestParseEmptyAndEnableDisable(t *testing.T) {
+	in, err := Parse("  ;  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(in) // empty schedule == disabled
+	if Active() != nil {
+		t.Fatal("empty schedule left the injector armed")
+	}
+	arm(t, "point=wal.fsync,mode=fail")
+	if Active() == nil {
+		t.Fatal("Enable did not arm")
+	}
+	Disable()
+	if Active() != nil {
+		t.Fatal("Disable did not disarm")
+	}
+	if err := Check(PointWALFsync, "x"); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+}
+
+func TestFailAfterCount(t *testing.T) {
+	in := arm(t, "point=wal.fsync,mode=fail,after=2,count=1")
+	var errs int
+	for i := 0; i < 5; i++ {
+		if err := Check(PointWALFsync, "wal-path"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: %v is not ErrInjected", i, err)
+			}
+			errs++
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("after=2,count=1 fired %d times, want exactly 1 (the 3rd hit)", errs)
+	}
+	st := in.Status()
+	if len(st) != 1 || st[0].Hits != 5 || st[0].Fired != 1 || st[0].Mode != "fail" {
+		t.Fatalf("Status = %+v", st)
+	}
+}
+
+func TestLabelFilter(t *testing.T) {
+	arm(t, "point=wal.fsync,mode=fail,label=graph-a")
+	if err := Check(PointWALFsync, "/data/graph-b/wal"); err != nil {
+		t.Fatalf("label mismatch still fired: %v", err)
+	}
+	if err := Check(PointWALFsync, "/data/graph-a/wal"); err == nil {
+		t.Fatal("label match did not fire")
+	}
+	if err := Check(PointSnapshotWrite, "/data/graph-a/snap"); err != nil {
+		t.Fatalf("wrong point fired: %v", err)
+	}
+}
+
+func TestProbDeterministicBySeed(t *testing.T) {
+	pattern := func(seed string) string {
+		in, err := Parse("point=rpc,mode=fail,prob=0.5,seed=" + seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			if f := in.eval(PointRPC, "x"); f.Mode == ModeFail {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		return sb.String()
+	}
+	a1, a2, b := pattern("7"), pattern("7"), pattern("8")
+	if a1 != a2 {
+		t.Fatalf("same seed, different patterns:\n%s\n%s", a1, a2)
+	}
+	if a1 == b {
+		t.Fatalf("different seeds produced the identical pattern %s", a1)
+	}
+	ones := strings.Count(a1, "1")
+	if ones < 16 || ones > 48 {
+		t.Fatalf("prob=0.5 fired %d/64 times — draw badly skewed", ones)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	arm(t, "point=snapshot.write,mode=delay,delay=30ms,count=1")
+	start := time.Now()
+	if err := Check(PointSnapshotWrite, "x"); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay slept only %v", d)
+	}
+	start = time.Now()
+	_ = Check(PointSnapshotWrite, "x") // count exhausted: no sleep
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("exhausted delay still slept %v", d)
+	}
+}
+
+func TestCrashModeCallsExit(t *testing.T) {
+	old := exit
+	defer func() { exit = old }()
+	code := -1
+	exit = func(c int) { code = c }
+	arm(t, "point=crash.after-replicate,mode=crash")
+	if err := Check(PointCrashAfterReplicate, "g"); err != nil {
+		t.Fatalf("crash returned error %v", err)
+	}
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3", code)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := "point=rpc,mode=blackhole,label=:9999"
+	in := arm(t, spec)
+	if in.Spec() != spec {
+		t.Fatalf("Spec() = %q", in.Spec())
+	}
+	if f := Fire(PointRPC, "GET http://h:9999/healthz"); f.Mode != ModeBlackhole {
+		t.Fatalf("Fire = %+v, want blackhole", f)
+	}
+	// Check treats blackhole as a no-op at non-transport points.
+	if err := Check(PointRPC, "GET http://h:9999/healthz"); err != nil {
+		t.Fatalf("Check(blackhole) = %v", err)
+	}
+	if Fire(PointRPC, "GET http://h:8888/healthz").Mode != 0 {
+		t.Fatal("unlabeled peer fired")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for name, m := range modeNames {
+		if m.String() != name {
+			t.Fatalf("Mode(%d).String() = %q, want %q", int(m), m.String(), name)
+		}
+	}
+	if s := Mode(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("unknown mode string %q", s)
+	}
+}

@@ -1,0 +1,66 @@
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with the rpc injection point.
+// base nil selects http.DefaultTransport. Every cluster-internal
+// client (proxy, replication/catch-up, lease, probe) is built over
+// this wrapper, so one armed schedule can partition a peer pair,
+// slow one RPC class down, or black-hole a direction entirely —
+// without touching the network stack.
+//
+// The label each outbound request evaluates under is "METHOD url",
+// e.g. "POST http://127.0.0.1:8763/v1/internal/replicate": a rule's
+// label substring can select a peer (":8763"), a path
+// ("/v1/internal/replicate"), or both.
+func Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTripper{base: base}
+}
+
+type faultTripper struct {
+	base http.RoundTripper
+}
+
+func (t *faultTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := active.Load()
+	if in == nil {
+		return t.base.RoundTrip(req)
+	}
+	f := in.eval(PointRPC, req.Method+" "+req.URL.String())
+	switch f.Mode {
+	case ModeFail:
+		return nil, f.Err
+	case ModeDelay:
+		// Sleep, but never past the request's own deadline: a delayed
+		// RPC that would outlive its context reports the context error,
+		// exactly like a slow peer under a per-attempt timeout.
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, fmt.Errorf("%w: rpc delayed past deadline (%s %s): %v",
+				ErrInjected, req.Method, req.URL, req.Context().Err())
+		case <-t.C:
+		}
+	case ModeBlackhole:
+		// A partition: the bytes never arrive and no error comes back
+		// until the caller's own deadline fires. This is what makes the
+		// retry/timeout paths testable — an unbounded client hangs here
+		// forever, a bounded one gets its context error.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%w: rpc black-holed (%s %s): %v",
+			ErrInjected, req.Method, req.URL, req.Context().Err())
+	case ModeCrash:
+		fmt.Fprintf(os.Stderr, "faultinject: crash at rpc (%s %s)\n", req.Method, req.URL)
+		exit(3)
+	}
+	return t.base.RoundTrip(req)
+}

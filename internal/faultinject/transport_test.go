@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newClient() *http.Client {
+	return &http.Client{Transport: Transport(nil)}
+}
+
+func TestTransportPassThroughWhenDisarmed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	Disable()
+	resp, err := newClient().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+}
+
+func TestTransportFail(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	arm(t, "point=rpc,mode=fail,label="+ts.URL)
+	_, err := newClient().Get(ts.URL + "/healthz")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	// A different URL sails through.
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer other.Close()
+	if _, err := newClient().Get(other.URL); err != nil {
+		t.Fatalf("unmatched URL failed: %v", err)
+	}
+}
+
+func TestTransportDelayRespectsContext(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer ts.Close()
+	arm(t, "point=rpc,mode=delay,delay=20ms")
+	start := time.Now()
+	if _, err := newClient().Get(ts.URL); err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("request returned after %v — delay not applied", d)
+	}
+	if hits != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits)
+	}
+	// A delay longer than the deadline turns into the context error.
+	Disable()
+	arm(t, "point=rpc,mode=delay,delay=10s")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start = time.Now()
+	_, err := newClient().Do(req)
+	if err == nil {
+		t.Fatal("over-deadline delay succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("deadline ignored: %v", d)
+	}
+	if hits != 1 {
+		t.Fatalf("server saw the black-holed request (hits=%d)", hits)
+	}
+}
+
+func TestTransportBlackholeHoldsUntilDeadline(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer ts.Close()
+	arm(t, "point=rpc,mode=blackhole")
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := newClient().Do(req)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("black-holed request succeeded")
+	}
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("blackhole returned after %v, before the deadline", elapsed)
+	}
+	if hits != 0 {
+		t.Fatal("black-holed request reached the server")
+	}
+}
+
+func TestTransportCrash(t *testing.T) {
+	old := exit
+	defer func() { exit = old }()
+	code := -1
+	// The stubbed exit returns, so the transport falls through to the
+	// real round trip afterwards — fine for the test.
+	exit = func(c int) { code = c }
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	arm(t, "point=rpc,mode=crash,count=1")
+	_, _ = newClient().Get(ts.URL)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3", code)
+	}
+}

@@ -1,0 +1,161 @@
+// Package retry provides capped exponential backoff with jitter and
+// per-attempt timeouts for the cluster's internal RPC paths (proxying,
+// replication, registration fan-out, tail catch-up).
+//
+// Design constraints, in order:
+//
+//   - bounded: a hung peer costs at most Attempts x (PerAttempt +
+//     backoff), never an unbounded wait — Do always respects the
+//     caller's context, so an inbound client deadline cuts the whole
+//     retry loop short;
+//   - deterministic where it matters: Delay is a pure function of
+//     (policy, attempt, rng), so tests can assert exact schedules by
+//     passing their own rng; production callers pass nil and get the
+//     process-global math/rand stream;
+//   - explicit terminal failures: an op wraps an error in Permanent to
+//     stop the loop early (e.g. an HTTP 4xx that retrying cannot fix).
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy parameterizes one retry loop. The zero value is usable and
+// means "one attempt, no backoff, no per-attempt timeout" — retry
+// disabled, plain call-through.
+type Policy struct {
+	// Attempts is the total number of tries (first call included).
+	// <= 0 behaves as 1.
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// backoff multiplies by Multiplier up to MaxDelay. <= 0 disables
+	// sleeping between attempts.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep. <= 0 means uncapped.
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor. < 1 behaves as 2.
+	Multiplier float64
+	// Jitter spreads each backoff uniformly over [d*(1-J), d*(1+J)] so
+	// N clients retrying the same dead peer do not re-arrive in
+	// lockstep. Clamped to [0, 1].
+	Jitter float64
+	// PerAttempt bounds one attempt: each op call gets a child context
+	// with this timeout layered on the caller's. <= 0 disables it.
+	PerAttempt time.Duration
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do stops retrying and returns it (unwrapped)
+// immediately. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Delay returns the backoff before attempt number `attempt` (1 = the
+// delay between the first and second try). rnd is the jitter source in
+// [0,1); nil selects the process-global math/rand stream. Pure given a
+// deterministic rnd.
+func (p Policy) Delay(attempt int, rnd func() float64) time.Duration {
+	if p.BaseDelay <= 0 || attempt < 1 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return Jittered(time.Duration(d), p.Jitter, rnd)
+}
+
+// Jittered spreads d uniformly over [d*(1-frac), d*(1+frac)]. frac is
+// clamped to [0, 1]; rnd nil selects the process-global math/rand
+// stream. Shared by the backoff above and the cluster prober (whose
+// fixed tick would otherwise re-synchronize probe storms across nodes
+// restarted together).
+func Jittered(d time.Duration, frac float64, rnd func() float64) time.Duration {
+	if d <= 0 || frac <= 0 {
+		return d
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	// Uniform in [-frac, +frac].
+	f := 1 + frac*(2*rnd()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// Do runs op under the policy: up to Attempts tries, each bounded by
+// PerAttempt, with capped jittered backoff in between. It returns nil
+// on the first success; the last error when the attempts are exhausted;
+// the unwrapped error immediately when op returns a Permanent one; and
+// ctx.Err() when the caller's context expires first (the in-between
+// sleeps watch it too).
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if p.PerAttempt > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.PerAttempt)
+		}
+		err = op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if attempt >= attempts {
+			return err
+		}
+		if d := p.Delay(attempt, nil); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+}

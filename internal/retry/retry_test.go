@@ -1,0 +1,167 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 450 * time.Millisecond, Multiplier: 2}
+	zero := func() float64 { return 0.5 } // Jitter 0 ignores rnd anyway
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		450 * time.Millisecond, // capped
+		450 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i+1, zero); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := p.Delay(0, zero); got != 0 {
+		t.Fatalf("Delay(0) = %v, want 0", got)
+	}
+	if got := (Policy{}).Delay(3, zero); got != 0 {
+		t.Fatalf("zero-policy Delay = %v, want 0", got)
+	}
+}
+
+func TestDelayDefaultMultiplierAndCap(t *testing.T) {
+	// Multiplier < 1 behaves as 2; MaxDelay <= 0 leaves growth uncapped.
+	p := Policy{BaseDelay: 10 * time.Millisecond}
+	if got := p.Delay(3, nil); got != 40*time.Millisecond {
+		t.Fatalf("uncapped Delay(3) = %v, want 40ms", got)
+	}
+	// A base already past the cap is clamped down.
+	p = Policy{BaseDelay: time.Second, MaxDelay: 100 * time.Millisecond}
+	if got := p.Delay(1, nil); got != 100*time.Millisecond {
+		t.Fatalf("clamped Delay(1) = %v, want 100ms", got)
+	}
+}
+
+func TestJitteredBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	if got := Jittered(d, 0, nil); got != d {
+		t.Fatalf("zero jitter changed the delay: %v", got)
+	}
+	if got := Jittered(0, 0.5, nil); got != 0 {
+		t.Fatalf("jitter invented a delay: %v", got)
+	}
+	// rnd=0 -> lower bound, rnd just under 1 -> upper bound; frac > 1
+	// clamps to 1 (delays never go negative).
+	if got := Jittered(d, 0.2, func() float64 { return 0 }); got != 80*time.Millisecond {
+		t.Fatalf("lower bound = %v, want 80ms", got)
+	}
+	hi := Jittered(d, 0.2, func() float64 { return 0.999999 })
+	if hi < 119*time.Millisecond || hi > 120*time.Millisecond {
+		t.Fatalf("upper bound = %v, want ~120ms", hi)
+	}
+	if got := Jittered(d, 5, func() float64 { return 0 }); got != 0 {
+		t.Fatalf("over-clamped jitter lower bound = %v, want 0", got)
+	}
+	// Deterministic rng makes the spread reproducible.
+	seq := []float64{0.25, 0.25}
+	i := 0
+	rnd := func() float64 { v := seq[i%len(seq)]; i++; return v }
+	a, b := Jittered(d, 0.2, rnd), Jittered(d, 0.2, rnd)
+	if a != b {
+		t.Fatalf("same rng draw produced %v then %v", a, b)
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	calls := 0
+	p := Policy{Attempts: 3, BaseDelay: time.Millisecond}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("still down")
+	p := Policy{Attempts: 4, BaseDelay: time.Millisecond}
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 4 {
+		t.Fatalf("Do = %v after %d calls, want sentinel after 4", err, calls)
+	}
+	// Zero policy: exactly one attempt.
+	calls = 0
+	if err := (Policy{}).Do(context.Background(), func(context.Context) error { calls++; return sentinel }); !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("zero-policy Do = %v after %d calls, want sentinel after 1", err, calls)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("bad request")
+	p := Policy{Attempts: 5, BaseDelay: time.Millisecond}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("wrapping: %w", sentinel))
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	// Do unwraps the Permanent marker but keeps the op's chain.
+	if IsPermanent(err) {
+		t.Fatalf("Do leaked the permanent marker: %v", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Do lost the cause: %v", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if !IsPermanent(Permanent(sentinel)) {
+		t.Fatal("IsPermanent(Permanent(err)) = false")
+	}
+}
+
+func TestDoHonorsCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{Attempts: 100, BaseDelay: time.Hour} // would sleep forever
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel() // expire during the first backoff
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want context.Canceled after 1", err, calls)
+	}
+	// An already-expired context never calls op.
+	calls = 0
+	if err := p.Do(ctx, func(context.Context) error { calls++; return nil }); !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("expired-ctx Do = %v after %d calls, want context.Canceled after 0", err, calls)
+	}
+}
+
+func TestDoPerAttemptTimeout(t *testing.T) {
+	attempts := 0
+	p := Policy{Attempts: 2, PerAttempt: 10 * time.Millisecond}
+	start := time.Now()
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		attempts++
+		<-ctx.Done() // simulate a hung peer: wait for the attempt deadline
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) || attempts != 2 {
+		t.Fatalf("Do = %v after %d attempts, want DeadlineExceeded after 2", err, attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("two 10ms attempts took %v — per-attempt timeout not applied", elapsed)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
@@ -18,6 +19,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dynamic"
+	"repro/internal/faultinject"
+	"repro/internal/retry"
 )
 
 // Cluster wiring: an optional cluster.Cluster behind the server turns
@@ -43,14 +46,17 @@ import (
 // the primary's, and the tail feed for catch-up is a plain WAL read
 // (store.TailRecords).
 //
-// Known limits (static membership v1, all tracked in ROADMAP.md):
-// upload-format graphs cannot lazily bootstrap onto a replica that was
-// down at registration time (needs snapshot shipping), a WAL compacted
-// past a straggler's version also needs snapshot shipping, and a
-// failback race inside one probe interval can fork a graph's version
-// chain — forks are detected by the per-batch hash carried on the
-// replication stream and surface as a "diverged" replica in
-// /v1/cluster/status rather than being silently merged.
+// Self-healing (see resync.go): upload-format graphs bootstrap onto a
+// replica that was down at registration time by shipping a full
+// checksummed snapshot, a WAL compacted past a straggler's version
+// escalates the same way, and a replica whose version chain forked
+// below a provably-ahead primary adopts the primary's snapshot
+// wholesale. A same-version fork (failback race inside one probe
+// interval — which the lease protocol prevents for majority-alive
+// clusters) is detected by the per-batch hash carried on the
+// replication stream and surfaces as a "diverged" replica in
+// /v1/cluster/status rather than being silently merged; it heals
+// automatically once one side moves ahead.
 
 // Cluster HTTP headers. Forwarded marks a proxied client request (the
 // hop guard: a forwarded request is never forwarded again); Replicated
@@ -78,15 +84,42 @@ const maxReplicateBodyBytes = 64 << 20
 // replica can stall one graph's write path.
 const DefaultReplicationTimeout = 15 * time.Second
 
+// DefaultProxyTimeout bounds one proxied client request end to end —
+// across every internal retry and target re-resolution — so a client
+// request cannot outlive its deadline just because the cluster is
+// failing over underneath it.
+const DefaultProxyTimeout = 60 * time.Second
+
+// proxyAttempts bounds how many targets one proxied request tries: the
+// original resolution plus re-resolutions after transport failures
+// have fed the liveness state (a dead primary is demoted by the failed
+// attempt itself, so the re-resolution sees the promoted replica).
+const proxyAttempts = 3
+
+// internalRetry is the bounded retry cluster-internal RPCs apply to
+// transient transport failures: one re-attempt after a short jittered
+// backoff. Kept deliberately tight — replication and catch-up run
+// under the graph entry's mutation lock, so every extra attempt is
+// write-path stall budget.
+var internalRetry = retry.Policy{
+	Attempts:  2,
+	BaseDelay: 50 * time.Millisecond,
+	MaxDelay:  500 * time.Millisecond,
+	Jitter:    0.2,
+}
+
 // clusterState is the service-side cluster runtime.
 type clusterState struct {
 	c *cluster.Cluster
-	// proxyClient forwards client requests (no client timeout: the
-	// request context and the target's own deadline govern); replClient
-	// carries replication and catch-up traffic under replTimeout.
-	proxyClient *http.Client
-	replClient  *http.Client
-	replTimeout time.Duration
+	// proxyClient forwards client requests (per-request deadline:
+	// proxyTimeout layered on the inbound context); replClient carries
+	// replication and catch-up traffic under replTimeout. Both run over
+	// the faultinject transport so a chaos schedule can partition,
+	// delay or black-hole either traffic class.
+	proxyClient  *http.Client
+	replClient   *http.Client
+	replTimeout  time.Duration
+	proxyTimeout time.Duration
 
 	mu sync.Mutex
 	// watermarks[graph][peer] is the highest version peer has acked on
@@ -95,23 +128,47 @@ type clusterState struct {
 	// attention / snapshot resync).
 	watermarks map[string]map[string]uint64
 	diverged   map[string]map[string]string
+
+	// leaseMu guards leaseExp: the holder-side lease terms (see
+	// lease.go). Separate from mu — lease renewal RPCs must not nest
+	// inside the watermark lock.
+	leaseMu  sync.Mutex
+	leaseExp map[string]time.Time
+}
+
+// ClusterOptions tunes the service-side cluster runtime.
+type ClusterOptions struct {
+	// ReplicationTimeout bounds one synchronous replication POST or
+	// catch-up tail fetch (<= 0 selects DefaultReplicationTimeout).
+	ReplicationTimeout time.Duration
+	// ProxyTimeout bounds one proxied client request end to end,
+	// including internal retries and target re-resolution (<= 0
+	// selects DefaultProxyTimeout).
+	ProxyTimeout time.Duration
 }
 
 // AttachCluster mounts the cluster view behind the server. Call before
-// serving. replTimeout <= 0 selects DefaultReplicationTimeout. With no
-// attached cluster every routing hook below is a no-op and the server
-// behaves exactly like the single-node daemon of PR 4.
-func (s *Server) AttachCluster(c *cluster.Cluster, replTimeout time.Duration) {
+// serving. With no attached cluster every routing hook below is a
+// no-op and the server behaves exactly like the single-node daemon of
+// PR 4.
+func (s *Server) AttachCluster(c *cluster.Cluster, opts ClusterOptions) {
+	replTimeout := opts.ReplicationTimeout
 	if replTimeout <= 0 {
 		replTimeout = DefaultReplicationTimeout
 	}
+	proxyTimeout := opts.ProxyTimeout
+	if proxyTimeout <= 0 {
+		proxyTimeout = DefaultProxyTimeout
+	}
 	s.cl = &clusterState{
-		c:           c,
-		proxyClient: &http.Client{},
-		replClient:  &http.Client{Timeout: replTimeout},
-		replTimeout: replTimeout,
-		watermarks:  make(map[string]map[string]uint64),
-		diverged:    make(map[string]map[string]string),
+		c:            c,
+		proxyClient:  &http.Client{Transport: faultinject.Transport(nil)},
+		replClient:   &http.Client{Timeout: replTimeout, Transport: faultinject.Transport(nil)},
+		replTimeout:  replTimeout,
+		proxyTimeout: proxyTimeout,
+		watermarks:   make(map[string]map[string]uint64),
+		diverged:     make(map[string]map[string]string),
+		leaseExp:     make(map[string]time.Time),
 	}
 }
 
@@ -176,7 +233,7 @@ func (s *Server) routeWrite(w http.ResponseWriter, r *http.Request, graph string
 		unavailable(w, fmt.Errorf("no alive node in the placement set of %q", graph))
 		return true
 	}
-	s.proxy(w, r, primary, body)
+	s.proxy(w, r, graph, primary, body)
 	return true
 }
 
@@ -222,47 +279,86 @@ func (s *Server) routeRead(w http.ResponseWriter, r *http.Request, graph string,
 		unavailable(w, fmt.Errorf("no alive node in the placement set of %q", graph))
 		return true
 	}
-	s.proxy(w, r, primary, body)
+	s.proxy(w, r, graph, primary, body)
 	return true
 }
 
 // proxy forwards the request (with its already-read body) to target
-// and relays the response verbatim. Transport failures feed the
-// liveness state — a crashed primary is demoted after FailAfter failed
-// proxies, not after a probe interval — and return 502 so the client
-// can retry against the promoted owner.
-func (s *Server) proxy(w http.ResponseWriter, r *http.Request, target string, body []byte) {
+// and relays the response verbatim. The whole exchange runs under a
+// per-request deadline (proxyTimeout layered on the inbound context),
+// so a forwarded request can never outlive the client's patience.
+// Transport failures feed the liveness state — a crashed primary is
+// demoted after FailAfter failed proxies, not after a probe interval —
+// and then the target is RE-RESOLVED and retried inside the same
+// client request: the failure that demoted the primary is the failure
+// whose retry lands on the promoted replica, so a mid-failover client
+// sees one slightly slower response instead of a 502. Only when every
+// attempt fails does the client get 502 + Retry-After.
+func (s *Server) proxy(w http.ResponseWriter, r *http.Request, graph, target string, body []byte) {
 	s.clusterProxied.Add(1)
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
+	ctx := r.Context()
+	if s.cl.proxyTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cl.proxyTimeout)
+		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), rd)
-	if err != nil {
-		writeError(w, fmt.Errorf("%w: building proxy request: %v", ErrBadRequest, err))
+	var lastErr error
+	for attempt := 1; attempt <= proxyAttempts; attempt++ {
+		if attempt > 1 {
+			// Back off (context-bounded), then re-resolve: the failure
+			// report above may have demoted the target and promoted a
+			// replica in the same epoch bump.
+			t := time.NewTimer(internalRetry.Delay(attempt-1, nil))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				lastErr = ctx.Err()
+				attempt = proxyAttempts // exhausted: fall through to 502
+				continue
+			case <-t.C:
+			}
+			next, ok := s.cl.c.ActivePrimary(graph)
+			if !ok {
+				break
+			}
+			target = next
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, r.Method, target+r.URL.RequestURI(), rd)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: building proxy request: %v", ErrBadRequest, err))
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		req.Header.Set(forwardedHeader, s.cl.c.Self())
+		resp, err := s.cl.proxyClient.Do(req)
+		if err != nil {
+			s.cl.c.ReportFailure(target, err)
+			lastErr = err
+			if ctx.Err() != nil {
+				break // deadline spent: another resolution cannot help
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		s.cl.c.ReportSuccess(target)
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
 		return
 	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
-	}
-	req.Header.Set(forwardedHeader, s.cl.c.Self())
-	resp, err := s.cl.proxyClient.Do(req)
-	if err != nil {
-		s.cl.c.ReportFailure(target, err)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusBadGateway, apiError{Error: fmt.Sprintf("proxying to %s: %v", target, err)})
-		return
-	}
-	defer resp.Body.Close()
-	s.cl.c.ReportSuccess(target)
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
-	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		w.Header().Set("Retry-After", ra)
-	}
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusBadGateway, apiError{Error: fmt.Sprintf("proxying to %s: %v", target, lastErr)})
 }
 
 // replicateRequest is the POST /v1/internal/replicate body: one
@@ -292,6 +388,12 @@ type replicateResponse struct {
 	Graph     string `json:"graph"`
 	Version   uint64 `json:"version"`
 	Persisted bool   `json:"persisted"`
+	// Applied reports a FRESH apply of this exact record (false for an
+	// idempotent re-ack of a version the replica already held). A fresh
+	// apply proves the replica's chain extends ours — the signal the
+	// primary uses to clear a sticky divergence record after the
+	// replica resynced.
+	Applied bool `json:"applied"`
 }
 
 // decodeWireBatch decodes the base64 dynamic.Batch codec bytes carried
@@ -360,6 +462,12 @@ func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch) 
 		default:
 			c.ReportSuccess(peer)
 			s.clusterReplicated.Add(1)
+			if ack.Applied {
+				// A fresh apply of OUR record at the exact next version
+				// proves the replica's chain is ours again (it resynced):
+				// clear any sticky divergence record.
+				s.cl.clearDiverged(e.Name, peer)
+			}
 			// Only a DURABLE ack advances the watermark and the response's
 			// replicated count: a memory-only or persistence-degraded
 			// replica applied the batch (enough to cover a primary kill
@@ -375,25 +483,45 @@ func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch) 
 }
 
 // postReplicate POSTs one replication record to peer and returns the
-// replica's ack and HTTP status.
+// replica's ack and HTTP status. Transient failures — a transport
+// error or a 5xx from a replica mid-restart or mid-catch-up — get one
+// bounded retry: the receive path is idempotent by version, so
+// re-POSTing a record the replica already applied is acked harmlessly,
+// and a retry that lands after the replica finished its catch-up turns
+// a would-be replication error into a clean ack.
 func (s *Server) postReplicate(peer string, payload []byte) (replicateResponse, int, error) {
 	var ack replicateResponse
-	resp, err := s.cl.replClient.Post(peer+"/v1/internal/replicate", "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return ack, 0, err
+	var status int
+	err := internalRetry.Do(context.Background(), func(context.Context) error {
+		ack, status = replicateResponse{}, 0
+		resp, err := s.cl.replClient.Post(peer+"/v1/internal/replicate", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		status = resp.StatusCode
+		if err != nil {
+			return err
+		}
+		if status >= 500 {
+			return fmt.Errorf("replicate to %s: status %d", peer, status)
+		}
+		if status != http.StatusOK {
+			return nil // 4xx: the caller classifies (409 divergence etc.)
+		}
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return retry.Permanent(err)
+		}
+		return nil
+	})
+	if err != nil && status >= 500 {
+		// The 5xx survived the retry. Surface it as a status, not an
+		// error: the caller's error path feeds the liveness verdict, and
+		// a peer that answered — even unhappily — is not dead.
+		return ack, status, nil
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return ack, resp.StatusCode, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return ack, resp.StatusCode, nil
-	}
-	if err := json.Unmarshal(body, &ack); err != nil {
-		return ack, resp.StatusCode, err
-	}
-	return ack, resp.StatusCode, nil
+	return ack, status, err
 }
 
 func (cs *clusterState) setWatermark(graph, peer string, version uint64) {
@@ -410,12 +538,19 @@ func (cs *clusterState) setWatermark(graph, peer string, version uint64) {
 	if v, seen := m[peer]; !seen || version > v {
 		m[peer] = version
 	}
-	// A divergence record, once set, is NOT cleared by later acks: an
-	// exact-version ack can be an idempotent "already have it" from a
-	// forked peer whose chain still differs below the head. Resolution
-	// is an operator action (wipe + re-sync the replica; ROADMAP:
-	// automated snapshot shipping), after which the restarted process
-	// starts with a clean slate anyway.
+	// A divergence record is NOT cleared here: an exact-version ack can
+	// be an idempotent "already have it" from a forked peer whose chain
+	// still differs below the head. Clearing happens on a FRESH applied
+	// ack (ack.Applied in replicateBatch) — after the replica adopted
+	// our snapshot and demonstrably extends our chain.
+}
+
+func (cs *clusterState) clearDiverged(graph, peer string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if m := cs.diverged[graph]; m != nil {
+		delete(m, peer)
+	}
 }
 
 func (cs *clusterState) setDiverged(graph, peer, reason string) {
@@ -515,25 +650,55 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	entry, err := s.reg.Get(req.Graph)
 	if err != nil {
 		// Lazy replica bootstrap: a spec-built graph whose registration
-		// fan-out never reached us (we were down) can be rebuilt from the
-		// spec alone; an upload cannot (its bytes live only in peers'
-		// snapshots — ROADMAP: snapshot shipping).
-		if req.Spec == "" || isUploadSpec(req.Spec) {
-			writeError(w, fmt.Errorf("%w: replica does not hold %q and cannot rebuild it (spec %q)",
+		// fan-out never reached us (we were down) is rebuilt from the
+		// spec alone; an upload's bytes live only in peers' snapshots,
+		// so ship one from the sender.
+		switch {
+		case req.Spec != "" && !isUploadSpec(req.Spec):
+			entry, err = s.RegisterSpec(req.Graph, req.Spec)
+		case req.From != "":
+			entry, err = s.resyncFrom(req.Graph, req.From)
+		default:
+			writeError(w, fmt.Errorf("%w: replica does not hold %q and the record names no sender to resync from (spec %q)",
 				ErrConflict, req.Graph, req.Spec))
 			return
 		}
-		if entry, err = s.RegisterSpec(req.Graph, req.Spec); err != nil {
-			writeError(w, fmt.Errorf("bootstrapping replica of %q: %w", req.Graph, err))
+		if err != nil {
+			unavailable(w, fmt.Errorf("bootstrapping replica of %q: %v", req.Graph, err))
 			return
 		}
 	}
 	applied, persisted, cur, err := entry.ApplyReplicated(req.Version, req.PrevHash, batch, s.persistBatch(entry))
-	if errors.Is(err, errReplGap) && req.From != "" {
-		// Pull the records between our head and the carried batch from
-		// the sender's WAL, then retry the batch itself.
-		if cerr := s.catchUpFrom(entry, req.From); cerr != nil {
-			unavailable(w, fmt.Errorf("replica behind for %q and catch-up from %s failed: %v", req.Graph, req.From, cerr))
+	if err != nil && req.From != "" && (errors.Is(err, errReplGap) || errors.Is(err, errReplDiverged)) {
+		var serr error
+		if errors.Is(err, errReplGap) {
+			// Pull the records between our head and the carried batch
+			// from the sender's WAL (escalating to a snapshot transfer
+			// when they are compacted away), then retry the batch itself.
+			serr = s.syncFromSender(entry, req.From, req.Version)
+		} else if s.cl.c.IsActivePrimary(req.Graph) {
+			// Our chain forked from the sender's while WE believe we are
+			// the graph's active primary: adopting the sender's history
+			// would silently discard writes we acked under that belief.
+			// Refuse; the conflict stays visible on both sides until the
+			// views reconcile (the lease protocol prevents this from
+			// arising with majority-alive clusters).
+			serr = err
+		} else {
+			// We are a replica whose chain forked below the sender's:
+			// the sender's history is the acked one — adopt it wholesale
+			// (the streamed version is the ahead-evidence) and replay any
+			// tail between the shipped snapshot and the carried batch.
+			if serr = s.adoptFromSender(entry, req.From, req.Version, err); serr == nil {
+				serr = s.catchUpFrom(entry, req.From)
+			}
+		}
+		if serr != nil {
+			if errors.Is(serr, errReplDiverged) {
+				writeError(w, fmt.Errorf("%w: %v", ErrConflict, serr))
+			} else {
+				unavailable(w, fmt.Errorf("replica cannot sync %q from %s: %v", req.Graph, req.From, serr))
+			}
 			return
 		}
 		applied, persisted, cur, err = entry.ApplyReplicated(req.Version, req.PrevHash, batch, s.persistBatch(entry))
@@ -549,7 +714,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	if applied {
 		s.cacheInvalidations.Add(int64(s.mgr.Cache().DeleteGraph(req.Graph)))
 	}
-	writeJSONCompact(w, http.StatusOK, replicateResponse{Graph: req.Graph, Version: cur, Persisted: persisted})
+	writeJSONCompact(w, http.StatusOK, replicateResponse{Graph: req.Graph, Version: cur, Persisted: persisted, Applied: applied})
 }
 
 // isUploadSpec reports whether spec names an uploaded payload (whose
@@ -628,7 +793,12 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 // peerVersion asks peer for its local version and spec of name.
 // ok=false when the peer does not hold the graph.
 func (s *Server) peerVersion(peer, name string) (version uint64, spec string, ok bool, err error) {
-	resp, err := s.cl.replClient.Get(peer + "/v1/internal/version?graph=" + url.QueryEscape(name))
+	var resp *http.Response
+	err = internalRetry.Do(context.Background(), func(context.Context) error {
+		var err error
+		resp, err = s.cl.replClient.Get(peer + "/v1/internal/version?graph=" + url.QueryEscape(name))
+		return err
+	})
 	if err != nil {
 		return 0, "", false, err
 	}
@@ -678,15 +848,18 @@ func (s *Server) bootstrapMissingGraph(name string) (*GraphEntry, error) {
 		if !ok {
 			continue
 		}
+		var e *GraphEntry
 		if spec == "" || isUploadSpec(spec) {
-			return nil, fmt.Errorf("%w: %s holds %q but it cannot be rebuilt from spec %q (snapshot shipping needed)",
-				ErrUnavailable, peer, name, spec)
-		}
-		e, err := s.RegisterSpec(name, spec)
-		if err != nil {
+			// Upload payloads exist only as peers' snapshots: ship one
+			// (this also lands the state at the peer's fold version, so
+			// the catch-up below only replays the WAL suffix).
+			if e, err = s.resyncFrom(name, peer); err != nil {
+				return nil, fmt.Errorf("%w: %s holds %q but snapshot resync failed: %v", ErrUnavailable, peer, name, err)
+			}
+		} else if e, err = s.RegisterSpec(name, spec); err != nil {
 			return nil, err
 		}
-		if err := s.catchUpFrom(e, peer); err != nil {
+		if err := s.syncFrom(e, peer); err != nil {
 			return nil, fmt.Errorf("%w: bootstrapped %q from %s but catch-up failed: %v", ErrUnavailable, name, peer, err)
 		}
 		fmt.Fprintf(os.Stderr, "service: bootstrapped graph %q (spec %s) from peer %s at version %d\n",
@@ -706,9 +879,10 @@ func (s *Server) bootstrapMissingGraph(name string) (*GraphEntry, error) {
 // against our own last batch's hash. If they differ, the two nodes
 // applied different batches at the same version — a forked chain that
 // catch-up must refuse to paper over by stacking the peer's tail on a
-// different base. The overlap check is skipped when we have no hash
-// (fresh graph, or a compacted WAL on either side) — no better
-// evidence exists without snapshot shipping (ROADMAP).
+// different base (syncFrom escalates the refusal to a full snapshot
+// adoption when the peer is provably ahead). The overlap check is
+// skipped when we have no hash (fresh graph, a compacted WAL on
+// either side, or a just-adopted snapshot).
 func (s *Server) catchUpFrom(e *GraphEntry, peer string) error {
 	verified := false
 	for {
@@ -724,7 +898,12 @@ func (s *Server) catchUpFrom(e *GraphEntry, peer string) error {
 			}
 		}
 		overlap := after < local
-		resp, err := s.cl.replClient.Get(peer + "/v1/internal/tail?graph=" + url.QueryEscape(e.Name) + "&after=" + strconv.FormatUint(after, 10))
+		var resp *http.Response
+		err := internalRetry.Do(context.Background(), func(context.Context) error {
+			var err error
+			resp, err = s.cl.replClient.Get(peer + "/v1/internal/tail?graph=" + url.QueryEscape(e.Name) + "&after=" + strconv.FormatUint(after, 10))
+			return err
+		})
 		if err != nil {
 			s.cl.c.ReportFailure(peer, err)
 			return err
@@ -741,6 +920,12 @@ func (s *Server) catchUpFrom(e *GraphEntry, peer string) error {
 				// legitimate catch-up.
 				verified = true
 				continue
+			}
+			if resp.StatusCode == http.StatusConflict {
+				// The peer's WAL cannot serve this tail (records folded
+				// into a snapshot): classify so syncFrom escalates to a
+				// snapshot transfer instead of failing the sync.
+				return fmt.Errorf("%w: tail fetch from %s: %s", errNeedSnapshot, peer, bytes.TrimSpace(body))
 			}
 			return fmt.Errorf("tail fetch from %s: status %d: %s", peer, resp.StatusCode, bytes.TrimSpace(body))
 		}
@@ -788,11 +973,13 @@ func (s *Server) catchUpFrom(e *GraphEntry, peer string) error {
 // as the graph's write owner. Cheap in steady state (one atomic epoch
 // compare); after a membership transition — a promotion, or this node
 // rejoining after a crash — it asks every alive placement peer for its
-// version and pulls whatever tail it is missing. An alive peer that is
-// provably ahead but cannot feed us the gap (compacted WAL, transport
-// failure) keeps us read-only for the graph: accepting a write then
-// would fork the version chain, so the caller turns the error into
-// 503 + Retry-After and the client retries after the pull succeeds.
+// version and pulls whatever tail it is missing — escalating to a full
+// snapshot transfer when the tail is compacted away or the chains
+// forked (syncFrom). An alive peer that is provably ahead but cannot
+// feed us even then keeps us read-only for the graph: accepting a
+// write would fork the version chain, so the caller turns the error
+// into 503 + Retry-After and the client retries after the pull
+// succeeds.
 func (s *Server) ensureSynced(e *GraphEntry) error {
 	if s.cl == nil {
 		return nil
@@ -821,11 +1008,11 @@ func (s *Server) ensureSynced(e *GraphEntry) error {
 		if !has || pv <= e.Version() {
 			continue
 		}
-		if err := s.catchUpFrom(e, peer); err != nil {
+		if err := s.syncFrom(e, peer); err != nil {
 			return fmt.Errorf("catching up %q from %s: %v", e.Name, peer, err)
 		}
 		if e.Version() < pv {
-			return fmt.Errorf("%s holds %q at version %d but can only feed us to %d (compacted WAL? snapshot shipping needed)",
+			return fmt.Errorf("%s holds %q at version %d but can only feed us to %d (tail and snapshot resync both fell short)",
 				peer, e.Name, pv, e.Version())
 		}
 	}
@@ -850,26 +1037,38 @@ func (s *Server) fanoutRegistration(name string, body []byte) {
 		// Bounded by the replication timeout like every other internal
 		// call: this runs inside the client's registration request, and a
 		// hung-but-not-yet-demoted replica must cost one replTimeout, not
-		// minutes. A peer that misses the fan-out bootstraps lazily from
-		// the spec at first replication, or waits for snapshot shipping.
-		req, err := http.NewRequest(http.MethodPost, peer+"/v1/graphs", bytes.NewReader(body))
-		if err != nil {
-			continue
-		}
-		req.Header.Set("Content-Type", "application/json")
-		req.Header.Set(replicatedHeader, c.Self())
-		resp, err := s.cl.replClient.Do(req)
+		// minutes. Registration is idempotent on the receiving side, so a
+		// transient failure gets one bounded retry before the peer is
+		// left to bootstrap lazily from the spec at first replication (or
+		// snapshot resync for uploads).
+		var status int
+		err := internalRetry.Do(context.Background(), func(context.Context) error {
+			status = 0
+			req, err := http.NewRequest(http.MethodPost, peer+"/v1/graphs", bytes.NewReader(body))
+			if err != nil {
+				return retry.Permanent(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(replicatedHeader, c.Self())
+			resp, err := s.cl.replClient.Do(req)
+			if err != nil {
+				return err
+			}
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			status = resp.StatusCode
+			if status != http.StatusOK {
+				return fmt.Errorf("status %d", status)
+			}
+			return nil
+		})
 		if err != nil {
 			s.clusterReplErrors.Add(1)
-			c.ReportFailure(peer, err)
+			if status == 0 {
+				// Never got a response: transport failure feeds liveness.
+				c.ReportFailure(peer, err)
+			}
 			fmt.Fprintf(os.Stderr, "service: replicating registration of %q to %s: %v\n", name, peer, err)
-			continue
-		}
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			s.clusterReplErrors.Add(1)
-			fmt.Fprintf(os.Stderr, "service: replicating registration of %q to %s: status %d\n", name, peer, resp.StatusCode)
 			continue
 		}
 		c.ReportSuccess(peer)
@@ -888,6 +1087,9 @@ type ClusterMetrics struct {
 	ReplicationErrors int64  `json:"replicationErrors"`
 	HopRejections     int64  `json:"hopRejections"`
 	CatchupBatches    int64  `json:"catchupBatches"`
+	LeaseRenewals     int64  `json:"leaseRenewals"`
+	LeaseFenced       int64  `json:"leaseFenced"`
+	Resyncs           int64  `json:"resyncs"`
 }
 
 // clusterStatusGraph is one graph's placement view in /v1/cluster/status.
@@ -909,6 +1111,10 @@ type clusterStatusGraph struct {
 	// Diverged maps replicas whose version chain forked from ours to
 	// the detection reason.
 	Diverged map[string]string `json:"diverged,omitempty"`
+	// LeaseMs is the holder-side write-lease term remaining on this
+	// node in milliseconds (present only when leases are enabled and
+	// this node holds or held one for the graph).
+	LeaseMs int64 `json:"leaseMs,omitempty"`
 }
 
 // handleClusterStatus serves GET /v1/cluster/status: membership,
@@ -924,6 +1130,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c := s.cl.c
+	now := time.Now()
 	graphs := []clusterStatusGraph{}
 	for _, e := range s.reg.List() {
 		pl := c.Placement(e.Name)
@@ -957,14 +1164,25 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.cl.mu.Unlock()
+		if c.LeaseDuration() > 0 {
+			g.LeaseMs = s.leaseExpiry(e.Name, now)
+		}
 		graphs = append(graphs, g)
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	status := map[string]interface{}{
 		"enabled":  true,
 		"self":     c.Self(),
 		"epoch":    c.Epoch(),
 		"replicas": c.Replicas(),
 		"nodes":    c.Status(),
 		"graphs":   graphs,
-	})
+	}
+	if dur := c.LeaseDuration(); dur > 0 {
+		status["lease"] = map[string]interface{}{
+			"durationMs": dur.Milliseconds(),
+			"majority":   c.Majority(),
+			"grants":     c.LeaseGrants(now),
+		}
+	}
+	writeJSON(w, http.StatusOK, status)
 }

@@ -56,7 +56,7 @@ func (n *testNode) restart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.AttachCluster(c, 5*time.Second)
+	srv.AttachCluster(c, ClusterOptions{ReplicationTimeout: 5 * time.Second})
 	n.slot.Store(srv)
 }
 
@@ -65,6 +65,13 @@ func (n *testNode) restart(t *testing.T) {
 // real WALs; catch-up serves real tails). Probers are never started —
 // tests drive liveness deterministically via Report*.
 func newTestCluster(t *testing.T, n, replicas int) []*testNode {
+	t.Helper()
+	return newTestClusterLease(t, n, replicas, 0)
+}
+
+// newTestClusterLease is newTestCluster with primary write leases of
+// the given term (0 disables them, like the default harness).
+func newTestClusterLease(t *testing.T, n, replicas int, lease time.Duration) []*testNode {
 	t.Helper()
 	slots := make([]atomic.Pointer[Server], n)
 	nodes := make([]*testNode, n)
@@ -92,15 +99,16 @@ func newTestCluster(t *testing.T, n, replicas int) []*testNode {
 		}
 		srv.AttachStore(st)
 		c, err := cluster.New(cluster.Config{
-			Self:      urls[i],
-			Peers:     urls,
-			Replicas:  replicas,
-			FailAfter: 1,
+			Self:          urls[i],
+			Peers:         urls,
+			Replicas:      replicas,
+			FailAfter:     1,
+			LeaseDuration: lease,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv.AttachCluster(c, 5*time.Second)
+		srv.AttachCluster(c, ClusterOptions{ReplicationTimeout: 5 * time.Second})
 		slots[i].Store(srv)
 	}
 	return nodes
@@ -404,20 +412,18 @@ func TestClusterPeerDownMidProxyFailsOverOnRetry(t *testing.T) {
 	if resp, body := postJSON(t, outsider.url+"/v1/graphs", map[string]string{"name": g, "spec": "kron:8"}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("register: %d %s", resp.StatusCode, body)
 	}
-	// Kill the primary's listener. The first proxied request hits the
-	// dead socket: 502, and the transport failure marks the primary
-	// down (FailAfter=1). The retry routes to the promoted replica.
+	// Kill the primary's listener. The proxied request hits the dead
+	// socket; the transport failure marks the primary down (FailAfter=1)
+	// and the proxy re-resolves to the promoted replica and retries
+	// INSIDE the same client request — the client sees one success, not
+	// a 502 it must retry itself.
 	primary.ts.Close()
 	resp, body := postJSON(t, outsider.url+"/v1/color", ColorRequest{Graph: g, Algorithm: "JP-ADG", Seed: 1})
-	if resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("proxy to dead primary: %d %s, want 502", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxy with in-flight failover: %d %s, want 200", resp.StatusCode, body)
 	}
 	if outsider.c().Alive(primary.url) {
 		t.Fatal("failed proxy did not feed liveness")
-	}
-	resp, body = postJSON(t, outsider.url+"/v1/color", ColorRequest{Graph: g, Algorithm: "JP-ADG", Seed: 1})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("retry after failover: %d %s", resp.StatusCode, body)
 	}
 	// Writes fail over too: the replica promotes (its only peer is the
 	// dead primary, so ensureSynced has nothing to pull and proceeds).
@@ -457,7 +463,7 @@ func TestClusterReplicationAckTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.AttachCluster(c, 150*time.Millisecond)
+	srv.AttachCluster(c, ClusterOptions{ReplicationTimeout: 150 * time.Millisecond})
 	slot.Store(srv)
 
 	// Find a graph this node is primary for.
@@ -568,12 +574,14 @@ func TestClusterReadOfMissingGraphIs404EveryNode(t *testing.T) {
 	}
 }
 
-func TestClusterCatchUpRefusesForkedTail(t *testing.T) {
-	// A promoted/rejoining node whose own head batch differs from the
-	// peer's record at the same version must refuse the catch-up (503
-	// the write, record the divergence) instead of stacking the peer's
-	// tail onto a different base — silent fork merge would serve
-	// colorings of a graph no single history ever produced.
+func TestClusterForkedTailResyncsViaSnapshot(t *testing.T) {
+	// A rejoining node whose own head batch differs from the peer's
+	// record at the same version still refuses to STACK the peer's tail
+	// onto a different base (silent fork merge would serve colorings of
+	// a graph no single history ever produced) — but because the peer
+	// is provably ahead, the refusal now escalates to adopting the
+	// peer's full snapshot: the node discards its forked head, resumes
+	// on the acked chain, and the write succeeds with zero manual steps.
 	nodes := newTestCluster(t, 2, 2)
 	const g = "forked"
 	order := orderNodes(nodes, g)
@@ -582,7 +590,7 @@ func TestClusterCatchUpRefusesForkedTail(t *testing.T) {
 		t.Fatalf("register: %d %s", resp.StatusCode, body)
 	}
 	// Mutual partition: a applies its v1; b applies a different v1 AND
-	// a v2 (b runs ahead).
+	// a v2 (b runs ahead — b's chain is the one with more acked state).
 	markDown(a, b.url)
 	markDown(b, a.url)
 	if resp, body := postJSON(t, a.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{2, 3}}}); resp.StatusCode != http.StatusOK {
@@ -594,15 +602,32 @@ func TestClusterCatchUpRefusesForkedTail(t *testing.T) {
 		}
 	}
 	// Heal a's view: its next write re-syncs, sees b ahead (version 2 >
-	// 1), pulls the tail with one record of overlap — and the overlap
-	// hash proves the chains forked at version 1.
+	// 1), pulls the tail with one record of overlap — the overlap hash
+	// proves the chains forked at version 1, and the resync engine ships
+	// b's snapshot instead of merging. The write then lands as v3 on b's
+	// chain.
 	a.c().ReportSuccess(b.url)
 	resp, body := postJSON(t, a.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{4, 5}}})
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("write on forked node: %d %s, want 503", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write on forked node after resync: %d %s, want 200", resp.StatusCode, body)
 	}
-	if e, _ := a.reg().Get(g); e.Version() != 1 {
-		t.Fatalf("forked node merged the peer tail anyway (version %d)", e.Version())
+	var mresp MutateResponse
+	if err := json.Unmarshal(body, &mresp); err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Version != 3 {
+		t.Fatalf("post-resync write minted version %d, want 3 (b's v2 + 1)", mresp.Version)
+	}
+	if m := clusterMetrics(t, a); m.Resyncs != 1 {
+		t.Fatalf("forked node recorded %d resyncs, want 1", m.Resyncs)
+	}
+	// Both nodes converge on the adopted chain, and a's replication of
+	// v3 was applied fresh on b — which clears any divergence record.
+	for _, n := range []*testNode{a, b} {
+		e, _ := n.reg().Get(g)
+		if e.Version() != 3 {
+			t.Fatalf("node %s at version %d, want 3", n.url, e.Version())
+		}
 	}
 	r, err := http.Get(a.url + "/v1/cluster/status")
 	if err != nil {
@@ -617,8 +642,14 @@ func TestClusterCatchUpRefusesForkedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Body.Close()
-	if len(status.Graphs) != 1 || len(status.Graphs[0].Diverged) == 0 {
-		t.Fatalf("refused catch-up not recorded as diverged: %+v", status.Graphs)
+	if len(status.Graphs) != 1 || len(status.Graphs[0].Diverged) != 0 {
+		t.Fatalf("divergence record survived the resync: %+v", status.Graphs)
+	}
+	// The adopted state is durable: a restart of a recovers the
+	// converged version, not the forked one.
+	a.restart(t)
+	if e, _ := a.reg().Get(g); e.Version() != 3 {
+		t.Fatalf("restarted node recovered version %d, want 3 (resync not folded into the store)", e.Version())
 	}
 }
 
@@ -737,7 +768,7 @@ func TestClusterSingleNodePeersBehavesLikeStandalone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.AttachCluster(c, 0)
+	srv.AttachCluster(c, ClusterOptions{})
 	slot.Store(srv)
 
 	if resp, body := postJSON(t, ts.URL+"/v1/graphs", map[string]string{"name": "solo", "spec": "kron:7"}); resp.StatusCode != http.StatusOK {
@@ -850,5 +881,233 @@ func TestBatchHashDetectsDifferentBatches(t *testing.T) {
 	}
 	if batchHash(1, &b1) != batchHash(1, &b1) {
 		t.Fatal("hash is not deterministic")
+	}
+}
+
+// TestClusterLeaseFencesDemotedPrimary is the split-brain regression
+// test for primary write leases: a primary that is partitioned out of
+// its peers' views keeps serving until its lease term lapses, and from
+// then on FENCES ITSELF — it cannot assemble a majority of grants, so
+// it refuses writes with 503 instead of acking a forking history.
+func TestClusterLeaseFencesDemotedPrimary(t *testing.T) {
+	const lease = 300 * time.Millisecond
+	nodes := newTestClusterLease(t, 3, 3, lease)
+	const g = "leaseg"
+	order := orderNodes(nodes, g)
+	a, b, c := order[0], order[1], order[2]
+
+	if resp, body := postJSON(t, a.url+"/v1/graphs", map[string]string{"name": g, "spec": "kron:8"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	// A healthy write renews the lease (self-grant + one peer = majority).
+	resp, body := postJSON(t, a.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{0, 1}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy mutate: %d %s", resp.StatusCode, body)
+	}
+	if m := clusterMetrics(t, a); m.LeaseRenewals < 1 {
+		t.Fatalf("healthy primary renewed %d leases, want >=1", m.LeaseRenewals)
+	}
+
+	// Partition a away from b and c — symmetric, like a real network
+	// split: b and c stop seeing a AND a stops seeing them. a still
+	// believes it is the active primary (it is always alive in its own
+	// view). Let its cached lease term run out, then write to it
+	// DIRECTLY (the worst case: a client still pointed at the deposed
+	// primary).
+	markDown(b, a.url)
+	markDown(c, a.url)
+	markDown(a, b.url)
+	markDown(a, c.url)
+	time.Sleep(lease + 100*time.Millisecond)
+	resp, body = postJSON(t, a.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{2, 3}}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deposed primary acked a forking write: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "fenced") {
+		t.Fatalf("fencing error does not say so: %s", body)
+	}
+	if m := clusterMetrics(t, a); m.LeaseFenced < 1 {
+		t.Fatalf("LeaseFenced = %d, want >=1", m.LeaseFenced)
+	}
+	if e, _ := a.reg().Get(g); e.Version() != 1 {
+		t.Fatalf("fenced write still bumped the version to %d", e.Version())
+	}
+
+	// The majority side keeps making progress: a write routed through c
+	// lands on the promoted primary b, which CAN assemble a majority
+	// (itself + c).
+	resp, body = postJSON(t, c.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{4, 5}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("majority-side mutate: %d %s", resp.StatusCode, body)
+	}
+	var mresp MutateResponse
+	if err := json.Unmarshal(body, &mresp); err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Version != 2 {
+		t.Fatalf("majority-side write minted version %d, want 2", mresp.Version)
+	}
+	if m := clusterMetrics(t, b); m.LeaseRenewals < 1 {
+		t.Fatalf("promoted primary renewed %d leases, want >=1", m.LeaseRenewals)
+	}
+
+	// Heal the partition. Rendezvous order makes a the primary again,
+	// but b's grant is still unexpired — a's first renewal attempts are
+	// refused until the old term runs out (the bounded failover pause),
+	// after which a catches up to version 2 and writes version 3.
+	b.c().ReportSuccess(a.url)
+	c.c().ReportSuccess(a.url)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body = postJSON(t, a.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{6, 7}}})
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healed primary never re-acquired the lease: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := json.Unmarshal(body, &mresp); err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Version != 3 {
+		t.Fatalf("healed primary minted version %d, want 3 (lost the majority-side write?)", mresp.Version)
+	}
+	for _, n := range []*testNode{a, b, c} {
+		e, _ := n.reg().Get(g)
+		if e.Version() != 3 {
+			t.Fatalf("node %s at version %d after heal, want 3", n.url, e.Version())
+		}
+	}
+}
+
+func TestClusterCompactedWALResyncsViaSnapshot(t *testing.T) {
+	// A replica that misses writes which the primary then compacts away
+	// cannot be healed by a WAL tail — the records no longer exist
+	// anywhere. The resync engine ships the primary's durable snapshot
+	// instead: the replica adopts it, replays the (empty) tail past it,
+	// and applies the next live batch, all inside the primary's write.
+	nodes := newTestCluster(t, 3, 3)
+	const g = "compacted"
+	order := orderNodes(nodes, g)
+	a, b := order[0], order[1]
+	if resp, body := postJSON(t, a.url+"/v1/graphs", map[string]string{"name": g, "spec": "kron:7"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	// Partition b from a's view only: a's mutations skip b (reported
+	// down) but still replicate to the third node.
+	markDown(a, b.url)
+	for i := 0; i < 3; i++ {
+		if resp, body := postJSON(t, a.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{uint32(i), uint32(i + 20)}}}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutate %d at a: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	// Fold a's WAL into a snapshot at v3: the records b is missing are
+	// now gone from a's WAL — tail catch-up alone can no longer heal b.
+	if resp, body := postJSON(t, a.url+"/v1/admin/compact", adminCompactRequest{Graph: g}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact at a: %d %s", resp.StatusCode, body)
+	}
+	if e, _ := b.reg().Get(g); e.Version() != 0 {
+		t.Fatalf("partitioned replica at version %d before heal, want 0", e.Version())
+	}
+	// Heal and write: b's gap (needs v1..v3, a serves none of them)
+	// escalates to a snapshot transfer, then the live v4 applies.
+	a.c().ReportSuccess(b.url)
+	resp, body := postJSON(t, a.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{5, 25}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-heal mutate: %d %s", resp.StatusCode, body)
+	}
+	var mresp MutateResponse
+	if err := json.Unmarshal(body, &mresp); err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Version != 4 || mresp.Replicated != 2 {
+		t.Fatalf("post-heal mutate acked version %d with %d replicas, want 4 with 2", mresp.Version, mresp.Replicated)
+	}
+	if e, _ := b.reg().Get(g); e.Version() != 4 {
+		t.Fatalf("resynced replica at version %d, want 4", e.Version())
+	}
+	if m := clusterMetrics(t, b); m.Resyncs != 1 {
+		t.Fatalf("replica recorded %d resyncs, want 1", m.Resyncs)
+	}
+	// The snapshot embedded the maintained coloring: the replica's copy
+	// must match the primary's exactly.
+	ea, _ := a.reg().Get(g)
+	eb, _ := b.reg().Get(g)
+	ea.mu.Lock()
+	ca := ea.dyn.Colors()
+	ea.mu.Unlock()
+	eb.mu.Lock()
+	cb := eb.dyn.Colors()
+	eb.mu.Unlock()
+	if len(ca) == 0 || len(ca) != len(cb) {
+		t.Fatalf("coloring lengths diverge: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("coloring diverges at vertex %d: %d vs %d", i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestClusterUploadGraphResyncsReplicaViaSnapshot(t *testing.T) {
+	// Upload-format graphs have no spec a replica can rebuild from — the
+	// bytes were POSTed once to the primary. A replica that missed the
+	// registration fan-out can therefore only bootstrap via snapshot
+	// transfer, which this test forces by hiding the replica during
+	// registration.
+	nodes := newTestCluster(t, 3, 2)
+	const g = "uploaded"
+	// Register through node 0 so the fan-out originates from a known
+	// view; hide the graph's replica from every node first so no
+	// registration reaches it.
+	pre := orderNodes(nodes, g)
+	primary, replica := pre[0], pre[1]
+	for _, n := range nodes {
+		if n != replica {
+			markDown(n, replica.url)
+		}
+	}
+	if resp, body := postJSON(t, primary.url+"/v1/graphs", map[string]string{"name": g, "format": "edgelist", "data": "0 1\n1 2\n2 0\n1 3\n"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register upload: %d %s", resp.StatusCode, body)
+	}
+	if _, err := replica.reg().Get(g); err == nil {
+		t.Fatal("replica saw the registration despite the partition")
+	}
+	// Heal: the next write's replication carries no rebuildable spec, so
+	// the replica pulls the primary's snapshot (the uploaded bytes at
+	// v0 plus its coloring) and then applies v1 on top.
+	for _, n := range nodes {
+		if n != replica {
+			n.c().ReportSuccess(replica.url)
+		}
+	}
+	resp, body := postJSON(t, primary.url+"/v1/graphs/"+g+"/mutate", MutateRequest{AddEdges: [][2]uint32{{0, 3}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate after heal: %d %s", resp.StatusCode, body)
+	}
+	var mresp MutateResponse
+	if err := json.Unmarshal(body, &mresp); err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Version != 1 || mresp.Replicated != 1 {
+		t.Fatalf("mutate acked version %d with %d replicas, want 1 with 1", mresp.Version, mresp.Replicated)
+	}
+	e, err := replica.reg().Get(g)
+	if err != nil {
+		t.Fatalf("replica never bootstrapped %q: %v", g, err)
+	}
+	if e.Version() != 1 {
+		t.Fatalf("bootstrapped replica at version %d, want 1", e.Version())
+	}
+	if m := clusterMetrics(t, replica); m.Resyncs != 1 {
+		t.Fatalf("replica recorded %d resyncs, want 1", m.Resyncs)
+	}
+	// The adopted upload survives a replica restart: the resync folded
+	// the snapshot into the replica's own store.
+	replica.restart(t)
+	if e, _ := replica.reg().Get(g); e == nil || e.Version() != 1 {
+		t.Fatalf("restarted replica lost the adopted upload graph")
 	}
 }

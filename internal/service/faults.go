@@ -1,0 +1,72 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/faultinject"
+)
+
+// Fault-injection admin surface: GET /v1/admin/faults reports the
+// armed schedule and its per-rule hit/fire counters; POST arms a new
+// schedule (an empty spec disarms). The endpoint is gated — colord
+// only enables it under -fault-injection — so a production daemon
+// exposes nothing chaos-shaped: un-gated, both verbs 404 exactly like
+// an unknown route.
+
+// EnableFaultAdmin turns the /v1/admin/faults endpoint on. Meant for
+// test/chaos deployments only (colord's -fault-injection flag).
+func (s *Server) EnableFaultAdmin() { s.faultAdmin.Store(true) }
+
+// faultsRequest is the POST /v1/admin/faults body.
+type faultsRequest struct {
+	// Spec is the fault schedule to arm (see package faultinject for
+	// the rule grammar); empty disarms.
+	Spec string `json:"spec"`
+}
+
+// faultsResponse reports the armed schedule ("" when disarmed) and the
+// per-rule counters.
+type faultsResponse struct {
+	Enabled bool                     `json:"enabled"`
+	Spec    string                   `json:"spec,omitempty"`
+	Rules   []faultinject.RuleStatus `json:"rules,omitempty"`
+}
+
+func currentFaults() faultsResponse {
+	in := faultinject.Active()
+	if in == nil {
+		return faultsResponse{}
+	}
+	return faultsResponse{Enabled: true, Spec: in.Spec(), Rules: in.Status()}
+}
+
+func (s *Server) handleAdminFaults(w http.ResponseWriter, r *http.Request) {
+	if !s.faultAdmin.Load() {
+		// Indistinguishable from an unknown route: the chaos surface
+		// must not even be discoverable on an un-gated daemon.
+		http.NotFound(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, currentFaults())
+	case http.MethodPost:
+		var req faultsRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
+			return
+		}
+		in, err := faultinject.Parse(req.Spec)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+			return
+		}
+		faultinject.Enable(in)
+		writeJSON(w, http.StatusOK, currentFaults())
+	default:
+		writeError(w, fmt.Errorf("%w: %s on /v1/admin/faults (want GET or POST)", ErrMethodNotAllowed, r.Method))
+	}
+}

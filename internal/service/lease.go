@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Holder side of the primary write leases (granter side and rationale:
+// internal/cluster/lease.go). Before acking a write the active primary
+// assembles unexpired grants from a MAJORITY of the full member set —
+// its own local grant plus POST /v1/internal/lease to peers — and
+// caches the term so steady-state writes pay one map lookup. The
+// cached expiry is measured from the INSTANT BEFORE the grant RPCs
+// went out: every granter's clock started later than ours, so our view
+// of the term is strictly the most pessimistic one and a fenced
+// granter never believes a lease we have already given up on.
+//
+// Fencing is check-before-apply: the lease is verified before the
+// batch is applied and acked. A write already past the check when the
+// term expires can still complete — that in-flight window is bounded
+// by the replication timeout, and the batch it acks was replicated to
+// a majority-side replica or failed loudly.
+
+// leaseRequest is the POST /v1/internal/lease body.
+type leaseRequest struct {
+	Graph string `json:"graph"`
+	// Holder is the requesting node's base URL — the would-be primary.
+	Holder string `json:"holder"`
+}
+
+// leaseResponse is the granter's verdict. Refusals are 200s with
+// granted:false — a refusal is an answer, not a transport failure.
+type leaseResponse struct {
+	Graph     string `json:"graph"`
+	Granted   bool   `json:"granted"`
+	Holder    string `json:"holder"`
+	Epoch     uint64 `json:"epoch"`
+	ExpiresMs int64  `json:"expiresMs,omitempty"` // term remaining at grant
+	Reason    string `json:"reason,omitempty"`
+}
+
+// handleLease serves POST /v1/internal/lease: the granter half.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s on /v1/internal/lease (want POST)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	if s.cl == nil {
+		writeError(w, fmt.Errorf("%w: clustering is not enabled on this node", ErrBadRequest))
+		return
+	}
+	var req leaseRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
+		return
+	}
+	if req.Graph == "" || req.Holder == "" {
+		writeError(w, fmt.Errorf("%w: want {graph, holder}", ErrBadRequest))
+		return
+	}
+	c := s.cl.c
+	now := time.Now()
+	granted, expires, reason := c.GrantLease(req.Graph, req.Holder, now)
+	resp := leaseResponse{Graph: req.Graph, Granted: granted, Holder: req.Holder, Epoch: c.Epoch(), Reason: reason}
+	if granted {
+		resp.ExpiresMs = expires.Sub(now).Milliseconds()
+	}
+	writeJSONCompact(w, http.StatusOK, resp)
+}
+
+// requestLease asks peer for a lease grant on graph. The transport
+// error (peer unreachable) is distinct from a refusal (peer answered
+// "no"): only the former feeds the liveness state.
+func (s *Server) requestLease(peer, graph string) (granted bool, err error) {
+	payload, err := json.Marshal(leaseRequest{Graph: graph, Holder: s.cl.c.Self()})
+	if err != nil {
+		return false, err
+	}
+	resp, err := s.cl.replClient.Post(peer+"/v1/internal/lease", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("lease grant from %s: status %d", peer, resp.StatusCode)
+	}
+	var lr leaseResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		return false, err
+	}
+	return lr.Granted, nil
+}
+
+// ensureLease makes sure this node holds a majority write lease for
+// graph before a write is acked. No-op with leases disabled. Cheap in
+// steady state (one lock + map read); renewal kicks in when less than
+// a quarter of the term remains, so back-to-back writes never stall on
+// lease RPCs and a healthy primary's lease never actually lapses.
+func (s *Server) ensureLease(graph string) error {
+	cl := s.cl
+	if cl == nil {
+		return nil
+	}
+	c := cl.c
+	dur := c.LeaseDuration()
+	if dur <= 0 {
+		return nil
+	}
+	now := time.Now()
+	cl.leaseMu.Lock()
+	exp := cl.leaseExp[graph]
+	cl.leaseMu.Unlock()
+	if exp.Sub(now) > dur/4 {
+		return nil
+	}
+	// Renew: one grant from ourselves, then peers until majority. The
+	// conservative expiry is measured from BEFORE the first RPC.
+	start := now
+	need := c.Majority()
+	grants := 0
+	if ok, _, _ := c.GrantLease(graph, c.Self(), start); ok {
+		grants++
+	}
+	var lastReason error
+	for _, peer := range c.Nodes() {
+		if grants >= need {
+			break
+		}
+		if peer == c.Self() {
+			continue
+		}
+		granted, err := s.requestLease(peer, graph)
+		switch {
+		case err != nil:
+			c.ReportFailure(peer, err)
+			lastReason = fmt.Errorf("%s unreachable: %v", peer, err)
+		case !granted:
+			// The peer answered: it is alive, it just disagrees that we
+			// are the primary (or an older lease still runs).
+			c.ReportSuccess(peer)
+			lastReason = fmt.Errorf("%s refused", peer)
+		default:
+			c.ReportSuccess(peer)
+			grants++
+		}
+	}
+	if grants < need {
+		s.clusterLeaseFenced.Add(1)
+		return fmt.Errorf("write lease for %q not held: %d/%d grants (last: %v) — fenced until a majority agrees this node is the primary",
+			graph, grants, need, lastReason)
+	}
+	cl.leaseMu.Lock()
+	cl.leaseExp[graph] = start.Add(dur)
+	cl.leaseMu.Unlock()
+	s.clusterLeaseRenewals.Add(1)
+	return nil
+}
+
+// leaseExpiry reports the holder-side lease term remaining for graph
+// (ms, <= 0 when absent or lapsed) — surfaced in /v1/cluster/status.
+func (s *Server) leaseExpiry(graph string, now time.Time) int64 {
+	s.cl.leaseMu.Lock()
+	defer s.cl.leaseMu.Unlock()
+	exp, ok := s.cl.leaseExp[graph]
+	if !ok {
+		return 0
+	}
+	return exp.Sub(now).Milliseconds()
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dynamic"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -135,6 +136,10 @@ func (e *GraphEntry) Mutate(b dynamic.Batch, includeColors bool, persist func(ve
 	if res.Version != versionBefore {
 		if replicate != nil {
 			replicate(res.Version, b)
+			// The crash window the replicate-before-persist ordering is
+			// designed around: dying here leaves the replicas ahead of the
+			// local WAL, and restart must catch the tail up from a peer.
+			_ = faultinject.Check(faultinject.PointCrashAfterReplicate, e.Name)
 		}
 		if persist != nil {
 			persisted = persist(res.Version, b)
@@ -232,6 +237,17 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 	// everything its peers acked before it may mint new versions —
 	// otherwise two nodes assign the same version to different batches.
 	if err := s.ensureSynced(entry); err != nil {
+		s.mutateErrors.Add(1)
+		unavailable(w, err)
+		return
+	}
+	// With leases enabled, being the active primary in our own view is
+	// not enough: a majority of the full member set must agree, via
+	// unexpired lease grants, before this write may be acked. An
+	// isolated or just-demoted primary fails here and fences itself
+	// (503) instead of acking a write the rest of the cluster will
+	// never see.
+	if err := s.ensureLease(entry.Name); err != nil {
 		s.mutateErrors.Add(1)
 		unavailable(w, err)
 		return

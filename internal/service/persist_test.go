@@ -12,10 +12,23 @@ import (
 	"time"
 
 	"repro/internal/dynamic"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/store"
 	"repro/internal/verify"
 )
+
+// armFaults arms a process-global fault schedule for one test. Tests
+// that use it must not run in parallel.
+func armFaults(t *testing.T, spec string) {
+	t.Helper()
+	in, err := faultinject.Parse(spec)
+	if err != nil {
+		t.Fatalf("faultinject.Parse(%q): %v", spec, err)
+	}
+	faultinject.Enable(in)
+	t.Cleanup(faultinject.Disable)
+}
 
 // newPersistentServer builds a server over a store rooted at dir.
 func newPersistentServer(t *testing.T, dir string, cfg ManagerConfig) (*Server, *httptest.Server) {
@@ -468,22 +481,99 @@ func TestNoopMutationHonorsDegradedPersistence(t *testing.T) {
 	if m := mutateHTTP(t, ts, "g", MutateRequest{}); m.Version != 1 || !m.Persisted {
 		t.Fatalf("healthy no-op: version %d persisted %v", m.Version, m.Persisted)
 	}
-	// Degrade the entry directly (no heal is scheduled for a no-op, so
-	// the flag stays set for the whole check, unlike the async-heal path
-	// TestPersistDegradeAndSelfHeal exercises).
-	e, err := s.Registry().Get("g")
-	if err != nil {
-		t.Fatal(err)
+	// Degrade through the real fault path: every WAL fsync fails, and
+	// the snapshot writes of the scheduled self-heal compactions fail
+	// too, so the entry STAYS degraded while the no-op is checked
+	// (otherwise the async heal could race the assertion).
+	armFaults(t, "point=wal.fsync,mode=fail;point=snapshot.write,mode=fail")
+	if m := mutateHTTP(t, ts, "g", MutateRequest{AddEdges: [][2]uint32{{1, 8}}}); m.Version != 2 || m.Persisted {
+		t.Fatalf("faulted mutation: version %d persisted %v, want 2/false", m.Version, m.Persisted)
 	}
-	e.persistBroken.Store(true)
 	m := mutateHTTP(t, ts, "g", MutateRequest{})
-	if m.Version != 1 {
+	if m.Version != 2 {
 		t.Fatalf("no-op advanced version to %d", m.Version)
 	}
 	if m.Persisted {
 		t.Fatal("no-op batch on degraded entry claimed persisted:true")
 	}
-	e.persistBroken.Store(false)
+	// Disarm and compact: durability resumes. The compact may briefly
+	// collide with a still-running (failed) self-heal attempt, so poll.
+	faultinject.Disable()
+	e, err := s.Registry().Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.persistBroken.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("disarmed entry never healed")
+		}
+		postJSON(t, ts.URL+"/v1/admin/compact", adminCompactRequest{Graph: "g"})
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m := mutateHTTP(t, ts, "g", MutateRequest{AddEdges: [][2]uint32{{2, 7}}}); m.Version != 3 || !m.Persisted {
+		t.Fatalf("post-heal mutation: version %d persisted %v", m.Version, m.Persisted)
+	}
+}
+
+// TestFsyncFaultDegradesAndSelfHeals drives the degraded-persistence
+// path end to end through the fault injector: one injected fsync
+// failure (exactly what a dying disk produces) degrades the entry, the
+// batch is still acked with persisted:false, and the scheduled
+// compaction heals durability without any operator action — proven by
+// a recovery that reaches the final version.
+func TestFsyncFaultDegradesAndSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newPersistentServer(t, dir, ManagerConfig{MaxInflight: 2, CacheEntries: 4})
+	addSpecGraph(t, ts, "g", "kron:7")
+	if m := mutateHTTP(t, ts, "g", MutateRequest{AddEdges: [][2]uint32{{0, 9}}}); m.Version != 1 || !m.Persisted {
+		t.Fatalf("healthy mutation: version %d persisted %v", m.Version, m.Persisted)
+	}
+	// The next WAL fsync fails, once.
+	armFaults(t, "point=wal.fsync,mode=fail,count=1")
+	m2 := mutateHTTP(t, ts, "g", MutateRequest{AddEdges: [][2]uint32{{1, 8}}})
+	if m2.Version != 2 {
+		t.Fatalf("faulted mutation version %d, want 2", m2.Version)
+	}
+	if m2.Persisted {
+		t.Fatal("mutation with a failed fsync claimed persisted:true")
+	}
+	if s.SnapshotMetrics().PersistErrors == 0 {
+		t.Fatal("injected fsync failure did not register in persistErrors")
+	}
+	// The scheduled compaction folds memory into a snapshot; wait for
+	// the heal, then appends must resume durably.
+	e, err := s.Registry().Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.persistBroken.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("persistence never self-healed after the injected fsync failure")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m := mutateHTTP(t, ts, "g", MutateRequest{AddEdges: [][2]uint32{{2, 7}}}); m.Version != 3 || !m.Persisted {
+		t.Fatalf("post-heal mutation: version %d persisted %v", m.Version, m.Persisted)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing acked was lost: recovery reaches the final version.
+	s2, _ := newPersistentServer(t, dir, ManagerConfig{MaxInflight: 2, CacheEntries: 4})
+	if _, err := s2.Recover(); err != nil {
+		t.Fatalf("recovery after injected degrade+heal: %v", err)
+	}
+	e2, err := s2.Registry().Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := e2.Version(); v != 3 {
+		t.Fatalf("recovered version %d, want 3", v)
+	}
 }
 
 // TestServerClose covers the graceful-shutdown path: Close drains

@@ -66,6 +66,12 @@ type Server struct {
 	clusterReplErrors    atomic.Int64
 	clusterHopRejections atomic.Int64
 	clusterCatchups      atomic.Int64
+	clusterLeaseRenewals atomic.Int64
+	clusterLeaseFenced   atomic.Int64
+	clusterResyncs       atomic.Int64
+
+	// faultAdmin gates /v1/admin/faults (colord's -fault-injection).
+	faultAdmin atomic.Bool
 }
 
 // NewServer builds a Server with a fresh registry and manager.
@@ -81,9 +87,12 @@ func NewServer(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("/v1/graphs/", s.handleGraphSub)
 	s.mux.HandleFunc("/v1/color", s.handleColor)
 	s.mux.HandleFunc("/v1/admin/compact", s.handleAdminCompact)
+	s.mux.HandleFunc("/v1/admin/faults", s.handleAdminFaults)
 	s.mux.HandleFunc("/v1/internal/replicate", s.handleReplicate)
 	s.mux.HandleFunc("/v1/internal/tail", s.handleTail)
 	s.mux.HandleFunc("/v1/internal/version", s.handleVersion)
+	s.mux.HandleFunc("/v1/internal/lease", s.handleLease)
+	s.mux.HandleFunc("/v1/internal/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -455,6 +464,9 @@ func (s *Server) SnapshotMetrics() Metrics {
 			ReplicationErrors: s.clusterReplErrors.Load(),
 			HopRejections:     s.clusterHopRejections.Load(),
 			CatchupBatches:    s.clusterCatchups.Load(),
+			LeaseRenewals:     s.clusterLeaseRenewals.Load(),
+			LeaseFenced:       s.clusterLeaseFenced.Load(),
+			Resyncs:           s.clusterResyncs.Load(),
 		}
 	}
 	m.SchemaVersions.AlgoRecord = harness.AlgoRecordSchemaVersion

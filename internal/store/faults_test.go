@@ -1,0 +1,115 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+)
+
+// armFaults arms a process-global fault schedule for one test. Tests
+// that use it must not run in parallel.
+func armFaults(t *testing.T, spec string) {
+	t.Helper()
+	in, err := faultinject.Parse(spec)
+	if err != nil {
+		t.Fatalf("faultinject.Parse(%q): %v", spec, err)
+	}
+	faultinject.Enable(in)
+	t.Cleanup(faultinject.Disable)
+}
+
+// TestWALFsyncFaultRollsBackTail: an injected fsync failure must leave
+// the WAL exactly as a real one does — error surfaced, written bytes
+// rolled back (not acked-and-lost behind the next append), and the
+// very next append of the same record succeeding cleanly.
+func TestWALFsyncFaultRollsBackTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(1, dynamic.Batch{AddEdges: []graph.Edge{{U: 0, V: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := w.size
+
+	// The next append's fsync fails (the schedule is armed after the
+	// first append, so its hit counter starts at the second one).
+	armFaults(t, "point=wal.fsync,mode=fail,count=1")
+	b2 := dynamic.Batch{AddEdges: []graph.Edge{{U: 1, V: 2}}}
+	err = w.Append(2, b2)
+	if err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("faulted append: err = %v, want injected", err)
+	}
+	if w.size != sizeBefore || w.Records() != 1 {
+		t.Fatalf("after failed fsync: size %d records %d, want %d/1 (tail not rolled back)", w.size, w.Records(), sizeBefore)
+	}
+
+	// Retrying the same record succeeds (count=1 exhausted) and the
+	// file replays both records with no gap and no duplicate.
+	if err := w.Append(2, b2); err != nil {
+		t.Fatalf("retry after injected fsync failure: %v", err)
+	}
+	recs, err := w.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Version != 1 || recs[1].Version != 2 {
+		t.Fatalf("replayed %d records %v, want versions [1 2]", len(recs), recs)
+	}
+}
+
+// TestSnapshotWriteFaultFailsCompaction: a fault at the snapshot-write
+// point must fail Compact without disturbing the store's durable state
+// (the old snapshot + WAL still recover), and a disarmed retry must
+// succeed.
+func TestSnapshotWriteFaultFailsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("g", "spec", g, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendBatch("g", 1, dynamic.Batch{AddEdges: []graph.Edge{{U: 2, V: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	armFaults(t, "point=snapshot.write,mode=fail")
+	colors := []uint32{0, 1, 0, 1}
+	if err := st.Compact("g", g, colors, 1); err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("faulted Compact: err = %v, want injected", err)
+	}
+	// The failed compaction must not have eaten the WAL: fold state
+	// still reports the appended record.
+	sv, nrec, err := st.FoldState("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv != 0 || nrec != 1 {
+		t.Fatalf("after failed compaction: snapshot v%d, %d WAL records, want v0/1", sv, nrec)
+	}
+
+	faultinject.Disable()
+	if err := st.Compact("g", g, colors, 1); err != nil {
+		t.Fatalf("disarmed Compact: %v", err)
+	}
+	sv, nrec, err = st.FoldState("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv != 1 || nrec != 0 {
+		t.Fatalf("after healed compaction: snapshot v%d, %d WAL records, want v1/0", sv, nrec)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"unsafe"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -240,6 +241,9 @@ func WriteSnapshot(w io.Writer, g *graph.Graph, colors []uint32, graphVersion ui
 // directory fsync'd — a crash at any point leaves either the old file
 // or the new one, never a torn snapshot under the final name.
 func WriteSnapshotFile(path string, g *graph.Graph, colors []uint32, graphVersion uint64) (int64, error) {
+	if err := faultinject.Check(faultinject.PointSnapshotWrite, path); err != nil {
+		return 0, err
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snap-*")
 	if err != nil {

@@ -296,6 +296,36 @@ func (s *Store) Has(name string) bool {
 	return ok
 }
 
+// SnapshotBytes returns the raw bytes of name's adopted snapshot file
+// together with the version it captures — the cluster resync feed: a
+// peer whose divergence or compaction gap cannot be healed from the
+// WAL tail ships this whole checksummed snapshot and replays the tail
+// on top. Served from the durable file, NOT from the in-memory entry,
+// so the service layer can answer it while a replication call holds
+// the graph's mutation lock (the requester is often the very replica
+// that replication is waiting on). An error means the graph has no
+// snapshot yet (spec-only registration that never compacted) — the
+// caller falls back to capturing live state.
+func (s *Store) SnapshotBytes(name string) ([]byte, uint64, error) {
+	gs, err := s.lookup(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal == nil {
+		return nil, 0, fmt.Errorf("store: graph %q not persisted", name)
+	}
+	if gs.meta.Snapshot == "" {
+		return nil, 0, fmt.Errorf("store: graph %q has no snapshot (spec-only, never compacted)", name)
+	}
+	data, err := os.ReadFile(filepath.Join(gs.dir, gs.meta.Snapshot))
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, gs.meta.SnapshotVersion, nil
+}
+
 // FoldState reports name's durable fold state: the graph version its
 // current snapshot captures (0 when it has none yet) and how many
 // records its WAL holds. The compaction path skips a fold only when

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/dynamic"
+	"repro/internal/faultinject"
 )
 
 // WAL file layout (format 1, integers little-endian):
@@ -190,6 +191,13 @@ func (w *WAL) Append(version uint64, b dynamic.Batch) error {
 	binary.LittleEndian.PutUint64(rec[4:], xxhash64(payload, 0))
 	copy(rec[walRecHeader:], payload)
 	if _, err := w.f.Write(rec); err != nil {
+		w.repairTail()
+		return err
+	}
+	if err := faultinject.Check(faultinject.PointWALFsync, w.path); err != nil {
+		// An injected fsync failure takes the identical path a real one
+		// does: the written bytes' durable state is treated as unknowable
+		// and rolled back before the error surfaces.
 		w.repairTail()
 		return err
 	}

@@ -1,0 +1,263 @@
+#!/usr/bin/env bash
+# Chaos smoke test (ISSUE 6): a 3-node colord cluster booted with
+# -fault-injection and driven through a deterministic, seeded fault
+# matrix — every failure mode the robustness work claims to survive,
+# injected on purpose instead of waited for:
+#
+#   A  failed WAL fsyncs on a graph's primary -> degraded persistence
+#      is reported honestly (persistErrors, writes still acked), and an
+#      admin compaction self-heals it
+#   B  a slow replication path (seeded probabilistic delays) under a
+#      mixed color/mutate workload -> retries/timeouts absorb it with
+#      every returned coloring still verified
+#   C  a partitioned replica whose missed records the primary compacts
+#      away -> on heal the replica converges via automated snapshot
+#      resync (cluster.resyncs advances), zero manual steps
+#   D  full isolation of a primary past its lease term -> the fenced
+#      ex-primary refuses direct writes (no fork is ever acked) while
+#      the majority side keeps accepting; on heal it converges
+#   E  a crash injected between replication and the local WAL append
+#      (the nastiest window) -> failover, restart, rejoin, and
+#      colorload -resume proves zero acked-mutation loss end to end
+#
+# Seeds: CHAOS_SEEDS (default "1 7") re-runs the probabilistic phase B
+# with each seed; the same seed always yields the same fault pattern.
+# Requires jq (present on the CI runners; apt install jq locally).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_PORT="${CHAOS_BASE_PORT:-8781}"
+SPEC="${CHAOS_SPEC:-kron:9}"
+GRAPH="${CHAOS_GRAPH:-chaosg}"
+CLIENTS="${CHAOS_CLIENTS:-4}"
+REQUESTS="${CHAOS_REQUESTS:-200}"
+SEEDS="${CHAOS_SEEDS:-1 7}"
+
+command -v jq >/dev/null || { echo "chaostest: jq is required" >&2; exit 1; }
+
+PORTS=("$BASE_PORT" "$((BASE_PORT + 1))" "$((BASE_PORT + 2))")
+URLS=()
+for p in "${PORTS[@]}"; do URLS+=("http://127.0.0.1:$p"); done
+PEERS="$(IFS=,; echo "${URLS[*]}")"
+
+WORK="$(mktemp -d)"
+JOURNAL="$WORK/mutations.jsonl"
+declare -A PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+mkdir -p bin
+go build -o bin/colord ./cmd/colord
+go build -o bin/colorload ./cmd/colorload
+
+start_node() {
+    local i="$1"
+    bin/colord -addr "127.0.0.1:${PORTS[$i]}" -max-inflight 4 \
+        -data-dir "$WORK/node$i" \
+        -cluster-self "${URLS[$i]}" -cluster-peers "$PEERS" \
+        -cluster-replicas 2 -cluster-probe-interval 250ms -cluster-fail-after 2 \
+        -cluster-replication-timeout 1s -cluster-lease 1s \
+        -fault-injection &
+    PIDS[$i]=$!
+}
+
+wait_healthy() {
+    local url="$1"
+    for _ in $(seq 100); do
+        if curl -sf "$url/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "chaostest: $url never became healthy" >&2
+    exit 1
+}
+
+# arm URL SPEC: replace the node's fault schedule (empty spec disarms).
+arm() {
+    curl -sf -X POST "$1/v1/admin/faults" \
+        -d "$(jq -nc --arg s "$2" '{spec: $s}')" >/dev/null
+}
+
+node_version() { # node_version URL GRAPH -> local version ("" if absent)
+    curl -sf "$1/v1/internal/version?graph=$2" 2>/dev/null | jq -r .version || true
+}
+
+metric() { # metric URL JQ_EXPR
+    curl -sf "$1/metrics" | jq -r "$2"
+}
+
+# roles GRAPH: resolve PRIMARY/REPLICA/PRIMARY_IDX for the graph from
+# cluster status (replicas=2: one primary, one replica, one outsider).
+# A node's status lists only graphs it holds locally, so poll every
+# node until one of the placement members answers.
+roles() {
+    local g="$1" status
+    PRIMARY="" REPLICA=""
+    for _ in $(seq 50); do
+        for u in "${URLS[@]}"; do
+            status="$(curl -sf "$u/v1/cluster/status" 2>/dev/null)" || continue
+            PRIMARY="$(echo "$status" | jq -r --arg g "$g" '.graphs[] | select(.name == $g) | .primary')"
+            REPLICA="$(echo "$status" | jq -r --arg g "$g" --arg p "$PRIMARY" \
+                '.graphs[] | select(.name == $g) | .placement[] | select(. != $p)' | head -1)"
+            if [ -n "$PRIMARY" ] && [ -n "$REPLICA" ]; then break 2; fi
+        done
+        sleep 0.1
+    done
+    [ -n "$PRIMARY" ] && [ -n "$REPLICA" ] || { echo "chaostest: no placement for $g" >&2; exit 1; }
+    PRIMARY_IDX=""
+    for i in 0 1 2; do
+        if [ "${URLS[$i]}" = "$PRIMARY" ]; then PRIMARY_IDX="$i"; fi
+    done
+}
+
+# wait_version URL GRAPH WANT TRIES: poll until the node's local
+# version reaches WANT.
+wait_version() {
+    local v
+    for _ in $(seq "$4"); do
+        v="$(node_version "$1" "$2")"
+        if [ -n "${v:-}" ] && [ "$v" != "null" ] && [ "$v" -ge "$3" ]; then return 0; fi
+        sleep 0.1
+    done
+    echo "chaostest: $1 stuck at version $(node_version "$1" "$2"), want >= $3 for $2" >&2
+    exit 1
+}
+
+echo "chaostest: booting 3 fault-injectable nodes on ports ${PORTS[*]}"
+for i in 0 1 2; do start_node "$i"; done
+for u in "${URLS[@]}"; do wait_healthy "$u"; done
+
+########################################################################
+echo "chaostest: phase A — failed WAL fsyncs degrade persistence honestly, compaction self-heals"
+FG="fsyncg"
+curl -sf -X POST "${URLS[0]}/v1/graphs" -d "{\"name\":\"$FG\",\"spec\":\"kron:8\"}" >/dev/null
+roles "$FG"
+arm "$PRIMARY" "point=wal.fsync,mode=fail,count=3"
+curl -sf -X POST "$PRIMARY/v1/graphs/$FG/mutate" -d '{"addEdges":[[1,101]]}' >/dev/null
+perr="$(metric "$PRIMARY" .persistErrors)"
+[ "$perr" -ge 1 ] || { echo "chaostest: injected fsync failure not counted (persistErrors=$perr)" >&2; exit 1; }
+arm "$PRIMARY" ""
+curl -sf -X POST "$PRIMARY/v1/admin/compact" -d "{\"graph\":\"$FG\"}" >/dev/null
+persisted="$(curl -sf -X POST "$PRIMARY/v1/graphs/$FG/mutate" -d '{"addEdges":[[2,102]]}' | jq -r .persisted)"
+[ "$persisted" = "true" ] || { echo "chaostest: persistence not healed after compaction (persisted=$persisted)" >&2; exit 1; }
+echo "chaostest: phase A ok — persistErrors=$perr while degraded, durable again after compaction"
+
+########################################################################
+echo "chaostest: phase B — seeded slow replication under load (seeds: $SEEDS)"
+curl -sf -X POST "${URLS[0]}/v1/graphs" -d "{\"name\":\"$GRAPH\",\"spec\":\"$SPEC\"}" >/dev/null
+roles "$GRAPH"
+OUTSIDER=""
+for u in "${URLS[@]}"; do
+    if [ "$u" != "$PRIMARY" ] && [ "$u" != "$REPLICA" ]; then OUTSIDER="$u"; fi
+done
+[ -n "$OUTSIDER" ] || { echo "chaostest: no outsider for $GRAPH" >&2; exit 1; }
+RESUME=""
+for seed in $SEEDS; do
+    arm "$PRIMARY" "point=rpc,label=/v1/internal/replicate,mode=delay,delay=150ms,prob=0.5,seed=$seed"
+    # shellcheck disable=SC2086
+    bin/colorload -addr "$OUTSIDER" -graph "$GRAPH" -spec "$SPEC" \
+        -c "$CLIENTS" -n "$REQUESTS" -verify -mutate-frac 0.3 \
+        -request-timeout 30s -mutation-log "$JOURNAL" $RESUME
+    RESUME="-resume"
+    arm "$PRIMARY" ""
+done
+echo "chaostest: phase B ok — every coloring verified under injected replication delays"
+
+########################################################################
+echo "chaostest: phase C — compacted-away records force an automated snapshot resync"
+GG="gapg"
+curl -sf -X POST "${URLS[0]}/v1/graphs" -d "{\"name\":\"$GG\",\"spec\":\"kron:8\"}" >/dev/null
+roles "$GG"
+P2="$PRIMARY" R2="$REPLICA"
+arm "$P2" "point=rpc,label=$R2,mode=fail"
+sleep 1 # probes mark the replica down
+for i in 1 2 3 4 5; do
+    curl -sf -X POST "$P2/v1/graphs/$GG/mutate" -d "{\"addEdges\":[[$i,$((i + 100))]]}" >/dev/null
+done
+curl -sf -X POST "$P2/v1/admin/compact" -d "{\"graph\":\"$GG\"}" >/dev/null
+[ "$(node_version "$R2" "$GG")" = "0" ] || { echo "chaostest: replica saw writes through the partition" >&2; exit 1; }
+arm "$P2" ""
+sleep 1 # probes revive the replica
+curl -sf -X POST "$P2/v1/graphs/$GG/mutate" -d '{"addEdges":[[6,106]]}' >/dev/null
+wait_version "$R2" "$GG" 6 100
+resyncs="$(metric "$R2" .cluster.resyncs)"
+[ "$resyncs" -ge 1 ] || { echo "chaostest: replica converged without a recorded resync?" >&2; exit 1; }
+echo "chaostest: phase C ok — replica adopted the primary's snapshot (resyncs=$resyncs) and caught up to v6"
+
+########################################################################
+echo "chaostest: phase D — isolated primary fences itself after its lease expires"
+# Blackhole every link touching the primary, in BOTH directions: a real
+# partition, as the lease protocol models it.
+arm "$P2" "point=rpc,mode=blackhole"
+for u in "${URLS[@]}"; do
+    if [ "$u" != "$P2" ]; then arm "$u" "point=rpc,label=$P2,mode=blackhole"; fi
+done
+sleep 3 # > lease term (1s) + probe detection on both sides
+code="$(curl -s -o "$WORK/fenced.json" -w '%{http_code}' --max-time 30 \
+    -X POST "$P2/v1/graphs/$GG/mutate" -d '{"addEdges":[[7,107]]}')"
+if [ "$code" != "503" ] || ! grep -q fenced "$WORK/fenced.json"; then
+    echo "chaostest: isolated ex-primary answered $code to a direct write, want a 503 naming the fence:" >&2
+    cat "$WORK/fenced.json" >&2
+    exit 1
+fi
+# The majority side must keep accepting writes for the graph.
+alive=""
+for u in "${URLS[@]}"; do
+    if [ "$u" != "$P2" ]; then alive="$u"; fi
+done
+accepted=""
+for _ in $(seq 100); do
+    if curl -sf -X POST "$alive/v1/graphs/$GG/mutate" -d '{"addEdges":[[8,108]]}' >/dev/null 2>&1; then
+        accepted=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$accepted" ] || { echo "chaostest: majority side never accepted a write during the isolation" >&2; exit 1; }
+fenced="$(metric "$P2" .cluster.leaseFenced)"
+[ "$fenced" -ge 1 ] || { echo "chaostest: fencing not counted (leaseFenced=$fenced)" >&2; exit 1; }
+for u in "${URLS[@]}"; do arm "$u" ""; done
+head_ver="$(node_version "$alive" "$GG")"
+# Catch-up rides the write path, not the prober: nudge a no-op write
+# through the healed node's ownership (retrying while liveness views
+# reconverge) so it pulls the tail it missed while fenced.
+for _ in $(seq 100); do
+    if curl -sf -X POST "$P2/v1/graphs/$GG/mutate" -d '{}' >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+wait_version "$P2" "$GG" "$head_ver" 150
+echo "chaostest: phase D ok — fenced write refused (leaseFenced=$fenced), majority progressed, healed node converged at v$head_ver"
+
+########################################################################
+echo "chaostest: phase E — crash between replication and the local WAL append, then zero-loss recovery"
+roles "$GRAPH"
+arm "$PRIMARY" "point=crash.after-replicate,mode=crash,count=1"
+# The crash kills the primary mid-run: tolerate the transport errors,
+# the journal + resume reconcile whether the dying ack landed.
+bin/colorload -addr "$OUTSIDER" -graph "$GRAPH" -spec "$SPEC" \
+    -c "$CLIENTS" -n 150 -verify -mutate-frac 0.4 -request-timeout 30s \
+    -mutation-log "$JOURNAL" -resume -tolerate-request-errors
+wait "${PIDS[$PRIMARY_IDX]}" 2>/dev/null || true
+start_node "$PRIMARY_IDX"
+wait_healthy "$PRIMARY"
+head_ver="$(node_version "$REPLICA" "$GRAPH")"
+# Rejoin catch-up rides the write path: nudge a no-op write through the
+# restarted node (it recovered BEHIND its replicas — the crash hit
+# before the local WAL append) until liveness reconverges.
+for _ in $(seq 100); do
+    if curl -sf -X POST "$PRIMARY/v1/graphs/$GRAPH/mutate" -d '{}' >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+wait_version "$PRIMARY" "$GRAPH" "$head_ver" 150
+# Strict final pass across all three nodes: -resume REQUIRES the
+# cluster to sit exactly at the journal's version — an acked mutation
+# lost in the crash window would fail here — and verifies every
+# returned coloring cross-node.
+bin/colorload -addr "$PRIMARY,$REPLICA,$OUTSIDER" -graph "$GRAPH" -spec "$SPEC" \
+    -c "$CLIENTS" -n 150 -verify -mutate-frac 0.2 \
+    -mutation-log "$JOURNAL" -resume
+echo "chaostest: phase E ok — crashed primary rejoined at v$head_ver, journal replay proves zero acked loss"
+
+echo "chaostest: OK — fsync failures, seeded slow links, snapshot resync, lease fencing, crash-after-replicate all survived (seeds: $SEEDS)"

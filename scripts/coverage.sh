@@ -9,11 +9,12 @@ cd "$(dirname "$0")/.."
 THRESHOLD="${COVER_THRESHOLD:-80}"
 PKGS="repro/internal/graph repro/internal/jp repro/internal/order \
       repro/internal/spec repro/internal/verify repro/internal/dynamic \
-      repro/internal/store repro/internal/cluster"
+      repro/internal/store repro/internal/cluster \
+      repro/internal/faultinject repro/internal/retry"
 # Every package above must print a coverage line: a package that loses
 # its tests reports "[no test files]" instead, which must fail the
 # gate, not slip past it.
-EXPECTED=8
+EXPECTED=10
 
 summary="$(mktemp)"
 trap 'rm -f "$summary"' EXIT
