@@ -24,8 +24,15 @@
 //
 //	colorload [-addr http://127.0.0.1:8712[,http://other:8712...]] [-graph kron12]
 //	          [-spec kron:12] [-algos JP-ADG,DEC-ADG-ITR] [-seeds 4]
-//	          [-c 8] [-n 200] [-eps 0.01] [-verify]
+//	          [-c 8] [-n 200] [-eps 0.01] [-verify] [-binary]
 //	          [-mutate-frac 0.2] [-mutate-batch 8] [-request-timeout 120s]
+//
+// With -binary color reads use GET /v1/color/bin — the zero-copy binary
+// read protocol — instead of JSON. Every binary coloring is verified
+// for properness exactly like a JSON one, and the first response per
+// (graph, version, algorithm, seed, eps) key is additionally
+// cross-fetched over POST /v1/color and asserted byte-identical,
+// proving protocol equivalence under load. Mutations still POST JSON.
 //
 // The target graph is registered first (idempotent): a run needs
 // nothing but a listening colord.
@@ -59,6 +66,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -86,6 +94,14 @@ type client struct {
 	endpoints []string
 	rr        atomic.Uint64
 	http      *http.Client
+	// homes remembers, per read path (the /v1/color/bin query string IS
+	// the cache key), the node URL the cluster advertised as that key's
+	// home via X-Colord-Key-Home — subsequent reads for the key go
+	// straight there instead of round-robining into a proxy hop. A
+	// failed learned home is forgotten and the request falls back to
+	// round-robin, which re-learns the key's next home from the hint
+	// on the rerouted response.
+	homes sync.Map
 }
 
 func (c *client) base() string {
@@ -108,13 +124,50 @@ const (
 	unavailMaxDelay  = 5 * time.Second
 )
 
+// keyHomeHeader is the server's per-key placement hint (see
+// internal/service/keyroute.go): the URL of the node that owns this
+// cache key. Reads sent straight there skip the cluster's proxy hop.
+const keyHomeHeader = "X-Colord-Key-Home"
+
 func (c *client) postJSON(path string, req, resp interface{}) (int, error) {
+	return c.postJSONAffine(path, "", req, resp)
+}
+
+// postJSONAffine is postJSON with key-home affinity: when key is
+// non-empty and a previous response advertised the key's home node,
+// the request goes straight there instead of round-robining into a
+// proxy hop. A home that stops answering is forgotten and the request
+// falls back to round-robin, re-learning the key's next home from the
+// hint on the rerouted response.
+func (c *client) postJSONAffine(path, key string, req, resp interface{}) (int, error) {
 	data, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
 	for attempt := 0; ; attempt++ {
-		status, wait, err := c.postOnce(path, data, resp)
+		base, affine := "", false
+		if key != "" {
+			if h, ok := c.homes.Load(key); ok {
+				base, affine = h.(string), true
+			}
+		}
+		if base == "" {
+			base = c.base()
+		}
+		status, wait, hdr, err := c.postOnce(base, path, data, resp)
+		if status == 0 && affine {
+			// Transport error against the learned home: forget it and
+			// re-resolve via round-robin (bounded by the attempt cap).
+			c.homes.Delete(key)
+			if attempt < unavailRetries {
+				continue
+			}
+		}
+		if key != "" && hdr != nil {
+			if home := hdr.Get(keyHomeHeader); home != "" {
+				c.homes.Store(key, home)
+			}
+		}
 		if status != http.StatusServiceUnavailable || attempt >= unavailRetries {
 			return status, err
 		}
@@ -128,32 +181,110 @@ func (c *client) postJSON(path string, req, resp interface{}) (int, error) {
 	}
 }
 
-// postOnce is one HTTP round trip. On a non-OK status it also surfaces
-// the server's Retry-After as a duration (0 when absent or unparsable)
-// so postJSON can pace its re-sends by the server's own estimate.
-func (c *client) postOnce(path string, data []byte, resp interface{}) (int, time.Duration, error) {
-	r, err := c.http.Post(c.base()+path, "application/json", bytes.NewReader(data))
+// apiError mirrors the server's JSON error envelope: a stable code to
+// branch on, the human-facing message, and the server's own retry
+// pacing in milliseconds (finer-grained than the Retry-After header).
+type apiError struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMs int64  `json:"retryAfterMs"`
+}
+
+// decodeError turns a non-OK response body into an error and a retry
+// pacing hint. The envelope is authoritative (code + retryAfterMs);
+// the Retry-After header is the fallback for proxies or middleboxes
+// that strip bodies.
+func decodeError(status int, body []byte, retryAfter string) (time.Duration, error) {
+	var env apiError
+	if jerr := json.Unmarshal(body, &env); jerr == nil && env.Error != "" {
+		wait := time.Duration(env.RetryAfterMs) * time.Millisecond
+		if env.Code != "" {
+			return wait, fmt.Errorf("status %d [%s]: %s", status, env.Code, env.Error)
+		}
+		return wait, fmt.Errorf("status %d: %s", status, env.Error)
+	}
+	var wait time.Duration
+	if s, perr := strconv.Atoi(retryAfter); perr == nil && s >= 0 {
+		wait = time.Duration(s) * time.Second
+	}
+	return wait, fmt.Errorf("status %d: %s", status, strings.TrimSpace(string(body)))
+}
+
+// getBin fetches one binary coloring (GET /v1/color/bin), with the
+// same bounded 503 re-send loop postJSON applies. Returns the response
+// headers (for the X-Colord-Cache hint and Content-Type) and the raw
+// body for service.DecodeColorBin.
+func (c *client) getBin(path string) (http.Header, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		base, affine := "", false
+		if h, ok := c.homes.Load(path); ok {
+			base, affine = h.(string), true
+		} else {
+			base = c.base()
+		}
+		r, err := c.http.Get(base + path)
+		if err != nil {
+			if affine {
+				// The learned home is gone: forget it and re-resolve
+				// via round-robin (bounded by the shared attempt cap).
+				c.homes.Delete(path)
+				if attempt < unavailRetries {
+					continue
+				}
+			}
+			return nil, nil, err
+		}
+		body, rerr := io.ReadAll(r.Body)
+		r.Body.Close()
+		if rerr != nil {
+			return r.Header, nil, rerr
+		}
+		if home := r.Header.Get(keyHomeHeader); home != "" {
+			c.homes.Store(path, home)
+		}
+		if r.StatusCode == http.StatusOK {
+			return r.Header, body, nil
+		}
+		wait, err := decodeError(r.StatusCode, body, r.Header.Get("Retry-After"))
+		if r.StatusCode != http.StatusServiceUnavailable || attempt >= unavailRetries {
+			return r.Header, nil, err
+		}
+		if wait <= 0 {
+			wait = unavailFlatDelay
+		}
+		if wait > unavailMaxDelay {
+			wait = unavailMaxDelay
+		}
+		time.Sleep(wait)
+	}
+}
+
+// postOnce is one HTTP round trip against base. On a non-OK status it
+// also surfaces the server's retry pacing (envelope retryAfterMs,
+// falling back to the Retry-After header; 0 when absent) so postJSON
+// can pace its re-sends by the server's own estimate. The response
+// headers come back for the key-home affinity hint; they are nil only
+// on a transport error.
+func (c *client) postOnce(base, path string, data []byte, resp interface{}) (int, time.Duration, http.Header, error) {
+	r, err := c.http.Post(base+path, "application/json", bytes.NewReader(data))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer r.Body.Close()
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return r.StatusCode, 0, err
+		return r.StatusCode, 0, r.Header, err
 	}
 	if r.StatusCode != http.StatusOK {
-		var wait time.Duration
-		if s, perr := strconv.Atoi(r.Header.Get("Retry-After")); perr == nil && s >= 0 {
-			wait = time.Duration(s) * time.Second
-		}
-		return r.StatusCode, wait, fmt.Errorf("status %d: %s", r.StatusCode, strings.TrimSpace(string(body)))
+		wait, err := decodeError(r.StatusCode, body, r.Header.Get("Retry-After"))
+		return r.StatusCode, wait, r.Header, err
 	}
 	if resp != nil {
 		if err := json.Unmarshal(body, resp); err != nil {
-			return r.StatusCode, 0, err
+			return r.StatusCode, 0, r.Header, err
 		}
 	}
-	return r.StatusCode, 0, nil
+	return r.StatusCode, 0, r.Header, nil
 }
 
 func colorsHash(colors []uint32) uint64 {
@@ -421,6 +552,7 @@ func main() {
 		resume  = flag.Bool("resume", false, "rebuild the local replica by replaying -mutation-log instead of requiring a fresh graph")
 		tolReq  = flag.Bool("tolerate-request-errors", false, "exit 0 when the only failures are transport errors (server killed mid-run); verification failures still fail")
 		reqTO   = flag.Duration("request-timeout", 120*time.Second, "per-request HTTP timeout (lower it when exercising fault injection so stalled requests fail fast)")
+		binMode = flag.Bool("binary", false, "fetch colorings via GET /v1/color/bin (binary read protocol); the first response per key is cross-checked against POST /v1/color for byte-identical colors")
 	)
 	flag.Parse()
 	algoList := strings.Split(*algos, ",")
@@ -564,6 +696,94 @@ func main() {
 		latMu.Unlock()
 	}
 
+	// Binary-mode state: bytes on the wire, plus a once-per-key JSON
+	// cross-check — the first binary response for each
+	// (graph, version, algo, seed, eps) key is compared against
+	// POST /v1/color for byte-identical colors, proving the two wire
+	// formats serve the same coloring. The JSON fetch also tells us
+	// whether the algorithm is deterministic (the binary header carries
+	// no such flag), gating the cross-request determinism check.
+	var (
+		binBytes atomic.Int64
+		binXck   atomic.Int64
+		xckMu    sync.Mutex
+		xckSeen  = map[service.Key]bool{}
+		detKey   = map[service.Key]bool{}
+	)
+	verifyBinary := func(req service.ColorRequest, hdr http.Header, body []byte) (string, error) {
+		if ct := hdr.Get("Content-Type"); ct != service.ColorBinContentType {
+			return fmt.Sprintf("content type %q, want %q", ct, service.ColorBinContentType), nil
+		}
+		version, rseed, _, numColors, colors, err := service.DecodeColorBin(body)
+		if err != nil {
+			return err.Error(), nil
+		}
+		if rseed != req.Seed {
+			return fmt.Sprintf("header echoes seed %d, requested %d", rseed, req.Seed), nil
+		}
+		if numColors < 1 || len(colors) == 0 {
+			return fmt.Sprintf("empty coloring (n=%d numColors=%d)", len(colors), numColors), nil
+		}
+		if !*doVer {
+			return "", nil
+		}
+		replica := local
+		if mut != nil {
+			replica = mut.replica(version)
+		}
+		if replica == nil {
+			return fmt.Sprintf("no replica for version %d", version), nil
+		}
+		if err := verify.CheckProper(replica, colors); err != nil {
+			return fmt.Sprintf("IMPROPER binary coloring at version %d: %v", version, err), nil
+		}
+		key := service.Key{Graph: *name, Version: version, Algorithm: req.Algorithm, Seed: req.Seed, Epsilon: *eps}
+		xckMu.Lock()
+		first := !xckSeen[key]
+		xckSeen[key] = true
+		det, detKnown := detKey[key]
+		xckMu.Unlock()
+		if first {
+			jreq := req
+			jreq.IncludeColors = true
+			var jresp service.ColorResponse
+			if _, jerr := cl.postJSON("/v1/color", jreq, &jresp); jerr != nil {
+				return "", jerr
+			}
+			binXck.Add(1)
+			// A concurrent mutation can advance the version between the
+			// two fetches; colors are only comparable at equal versions.
+			if jresp.GraphVersion == version {
+				if len(jresp.Colors) != len(colors) {
+					return fmt.Sprintf("binary/JSON length mismatch: %d vs %d colors", len(colors), len(jresp.Colors)), nil
+				}
+				for v := range colors {
+					if colors[v] != jresp.Colors[v] {
+						return fmt.Sprintf("binary/JSON DIVERGENCE for %s seed %d version %d: vertex %d colored %d vs %d",
+							req.Algorithm, req.Seed, version, v, colors[v], jresp.Colors[v]), nil
+					}
+				}
+				if jresp.NumColors != numColors {
+					return fmt.Sprintf("binary/JSON numColors mismatch: %d vs %d", numColors, jresp.NumColors), nil
+				}
+			}
+			det, detKnown = jresp.Deterministic, true
+			xckMu.Lock()
+			detKey[key] = det
+			xckMu.Unlock()
+		}
+		if detKnown && det {
+			h := colorsHash(colors)
+			hashMu.Lock()
+			defer hashMu.Unlock()
+			if prev, ok := hashes[key]; ok && prev != h {
+				return fmt.Sprintf("NONDETERMINISM for %+v", key), nil
+			}
+			hashes[key] = h
+		}
+		return "", nil
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *clients; w++ {
@@ -601,9 +821,43 @@ func main() {
 					Epsilon:       *eps,
 					IncludeColors: *doVer,
 				}
+				if *binMode {
+					q := url.Values{}
+					q.Set("graph", req.Graph)
+					q.Set("algorithm", req.Algorithm)
+					q.Set("seed", strconv.FormatUint(req.Seed, 10))
+					q.Set("eps", strconv.FormatFloat(req.Epsilon, 'g', -1, 64))
+					t0 := time.Now()
+					hdr, body, err := cl.getBin("/v1/color/bin?" + q.Encode())
+					record(time.Since(t0))
+					if err != nil {
+						reqErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "colorload: binary request %d (%s seed %d): %v\n", i, req.Algorithm, req.Seed, err)
+						continue
+					}
+					okCount.Add(1)
+					binBytes.Add(int64(len(body)))
+					if strings.Contains(hdr.Get("X-Colord-Cache"), "hit") {
+						cachedHit.Add(1)
+					}
+					verMsg, xerr := verifyBinary(req, hdr, body)
+					switch {
+					case xerr != nil:
+						reqErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "colorload: binary cross-check %d (%s seed %d): %v\n", i, req.Algorithm, req.Seed, xerr)
+					case verMsg != "":
+						verErrs.Add(1)
+						fmt.Fprintf(os.Stderr, "colorload: binary %d (%s seed %d): %s\n", i, req.Algorithm, req.Seed, verMsg)
+					case *doVer:
+						verified.Add(1)
+					}
+					continue
+				}
 				var resp service.ColorResponse
 				t0 := time.Now()
-				_, err := cl.postJSON("/v1/color", req, &resp)
+				_, err := cl.postJSONAffine("/v1/color",
+					fmt.Sprintf("%s|%s|%d|%g", req.Graph, req.Algorithm, req.Seed, req.Epsilon),
+					req, &resp)
 				record(time.Since(t0))
 				if err != nil {
 					reqErrs.Add(1)
@@ -672,6 +926,10 @@ func main() {
 	if mut != nil && mutCount.Load() > 0 {
 		fmt.Printf("colorload: mutations reached version %d: %d conflict edges, %d vertices repaired, %d fallback recolors\n",
 			mut.ov.Version(), atomic.LoadInt64(&mut.conflicts), atomic.LoadInt64(&mut.repaired), atomic.LoadInt64(&mut.fallbacks))
+	}
+	if *binMode {
+		fmt.Printf("colorload: binary protocol: %d payload bytes received, %d keys cross-checked byte-identical against JSON\n",
+			binBytes.Load(), binXck.Load())
 	}
 	fmt.Printf("colorload: latency p50 %v  p95 %v  p99 %v  max %v\n",
 		percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99), percentile(lats, 1.0))

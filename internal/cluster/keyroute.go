@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Cache-key routing: reads of one coloring key — (graph, algorithm,
+// seed, epsilon) — all land on the same "home" node, so the cluster's
+// aggregate result cache holds each key once instead of once per node
+// that happened to serve it, and a repeated key is a cache hit
+// cluster-wide after the first computation.
+//
+// The home is chosen by a second rendezvous pass WITHIN the graph's
+// placement set: every placement member scores (member, key) with the
+// same hash and the key's preference order is the members sorted by
+// descending score. Restricting the candidates to the placement set
+// keeps the invariant that only nodes holding the graph serve its
+// reads locally (they can answer at their replicated version); hashing
+// the key spreads distinct keys evenly across those members. Failover
+// walks the same order, exactly like graph-primary failover does.
+//
+// The graph's mutation version is deliberately NOT part of the routing
+// hash (it IS part of the result-cache key): a node that does not hold
+// the graph cannot know the current version, and routing must be
+// computable — and agree — on every member from the request alone.
+// Excluding it also keeps a key's home stable across mutations, so a
+// hot key's cache refills on the same node after every version bump.
+
+// scoreKey hashes a (node, key-hash) pair, mirroring score()'s
+// FNV-1a + splitmix64 construction (see rendezvous.go for why the
+// finalizer matters).
+func scoreKey(node string, key uint64) uint64 {
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], key)
+	h := fnv.New64a()
+	h.Write(kb[:])
+	h.Write([]byte{0})
+	io.WriteString(h, node)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// KeyOrder returns the full home preference order for a cache key of
+// graph: the graph's placement set sorted by descending key score
+// (URL order breaks ties — total and identical on every node).
+func (c *Cluster) KeyOrder(graph string, key uint64) []string {
+	out := append([]string(nil), c.Placement(graph)...)
+	scores := make(map[string]uint64, len(out))
+	for _, n := range out {
+		scores[n] = scoreKey(n, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := scores[out[i]], scores[out[j]]
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// KeyHome returns the node currently serving the cache key: the first
+// alive member of the key's home order. ok is false when the whole
+// placement set is down.
+func (c *Cluster) KeyHome(graph string, key uint64) (string, bool) {
+	for _, n := range c.KeyOrder(graph, key) {
+		if c.Alive(n) {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// IsKeyHome reports whether this node is the current home of the key.
+func (c *Cluster) IsKeyHome(graph string, key uint64) bool {
+	h, ok := c.KeyHome(graph, key)
+	return ok && h == c.self
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestKeyOrderIsPlacementPermutationAndAgreesAcrossNodes(t *testing.T) {
+	peers := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	views := make([]*Cluster, len(peers))
+	for i, self := range peers {
+		views[i] = mustNew(t, Config{Self: self, Peers: peers, Replicas: 3})
+	}
+	for g := 0; g < 20; g++ {
+		graph := fmt.Sprintf("graph-%d", g)
+		placement := map[string]bool{}
+		for _, n := range views[0].Placement(graph) {
+			placement[n] = true
+		}
+		for key := uint64(0); key < 30; key++ {
+			ref := views[0].KeyOrder(graph, key)
+			if len(ref) != len(placement) {
+				t.Fatalf("KeyOrder(%q, %d) has %d nodes, want the placement's %d", graph, key, len(ref), len(placement))
+			}
+			seen := map[string]bool{}
+			for _, n := range ref {
+				if !placement[n] {
+					t.Fatalf("KeyOrder(%q, %d) includes %q outside the placement set", graph, key, n)
+				}
+				if seen[n] {
+					t.Fatalf("KeyOrder(%q, %d) repeats %q", graph, key, n)
+				}
+				seen[n] = true
+			}
+			for i, v := range views[1:] {
+				got := v.KeyOrder(graph, key)
+				for j := range ref {
+					if got[j] != ref[j] {
+						t.Fatalf("node %d disagrees on KeyOrder(%q, %d): %v vs %v", i+1, graph, key, got, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKeyHomeSpreadsKeysAcrossThePlacementSet(t *testing.T) {
+	// The whole point of key routing: distinct keys of ONE graph home on
+	// distinct placement members, so the placement set's caches compose
+	// instead of mirroring the primary's.
+	c := mustNew(t, Config{
+		Self:     "http://n1",
+		Peers:    []string{"http://n1", "http://n2", "http://n3"},
+		Replicas: 3,
+	})
+	const graph = "spread"
+	counts := map[string]int{}
+	const keys = 600
+	for k := uint64(0); k < keys; k++ {
+		home, ok := c.KeyHome(graph, k)
+		if !ok {
+			t.Fatalf("KeyHome(%q, %d) unavailable with everyone alive", graph, k)
+		}
+		counts[home]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d/3 nodes ever home a key: %v", len(counts), counts)
+	}
+	for n, got := range counts {
+		if got < keys/3/2 || got > keys/3*2 {
+			t.Errorf("node %s homes %d/%d keys — key placement badly skewed", n, got, keys)
+		}
+	}
+}
+
+func TestKeyHomeFailsOverWithinPlacementAndReportsUnavailable(t *testing.T) {
+	// Replicas=2 on 3 nodes: pick a graph whose placement excludes self,
+	// so BOTH placement members can be marked down.
+	c := threeNodes(t, 2)
+	var graph string
+	for g := 0; ; g++ {
+		graph = fmt.Sprintf("g%d", g)
+		if !c.OwnsLocally(graph) {
+			break
+		}
+	}
+	const key = 42
+	order := c.KeyOrder(graph, key)
+	home, ok := c.KeyHome(graph, key)
+	if !ok || home != order[0] {
+		t.Fatalf("KeyHome = %q ok=%v, want the key order's head %q", home, ok, order[0])
+	}
+	// Down the key's home: the NEXT node in key order takes over — still
+	// inside the placement set, so it holds the graph.
+	for i := 0; i < DefaultFailAfter; i++ {
+		c.ReportFailure(order[0], fmt.Errorf("down"))
+	}
+	home, ok = c.KeyHome(graph, key)
+	if !ok || home != order[1] {
+		t.Fatalf("after head down: KeyHome = %q ok=%v, want %q", home, ok, order[1])
+	}
+	// Down the whole placement set: no home.
+	for i := 0; i < DefaultFailAfter; i++ {
+		c.ReportFailure(order[1], fmt.Errorf("down"))
+	}
+	if home, ok = c.KeyHome(graph, key); ok {
+		t.Fatalf("whole placement down but KeyHome returned %q", home)
+	}
+	// Recovery restores the original head.
+	c.ReportSuccess(order[0])
+	if home, ok = c.KeyHome(graph, key); !ok || home != order[0] {
+		t.Fatalf("after recovery: KeyHome = %q ok=%v, want %q", home, ok, order[0])
+	}
+}
+
+func TestIsKeyHomeMatchesKeyHome(t *testing.T) {
+	c := threeNodes(t, 2)
+	for g := 0; g < 10; g++ {
+		graph := fmt.Sprintf("g%d", g)
+		for key := uint64(0); key < 20; key++ {
+			home, ok := c.KeyHome(graph, key)
+			want := ok && home == c.Self()
+			if c.IsKeyHome(graph, key) != want {
+				t.Fatalf("IsKeyHome(%q, %d) disagrees with KeyHome=%q ok=%v", graph, key, home, ok)
+			}
+		}
+	}
+}

@@ -123,6 +123,52 @@ func BarabasiAlbert(n, k int, seed uint64, p int) (*graph.Graph, error) {
 	return graph.FromEdges(n, edges, p)
 }
 
+// WattsStrogatz builds a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbors (k/2 on each side), then
+// every lattice edge is rewired with probability beta to a uniformly
+// random endpoint (self-loops and duplicate rewires are rejected by
+// FromEdges' dedup, keeping the edge count fixed at n*k/2). beta=0 is
+// the pure lattice (degeneracy k/2 — low-d, high-locality), beta=1 is
+// essentially ER — the sweep between them exercises the coloring
+// algorithms across the locality spectrum at CONSTANT degree, the
+// regime the kron/er/ba families don't cover.
+func WattsStrogatz(n, k int, beta float64, seed uint64, p int) (*graph.Graph, error) {
+	if n < 0 || k < 0 {
+		return nil, fmt.Errorf("gen: negative size")
+	}
+	if k%2 != 0 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs even k (k/2 neighbors per side), got %d", k)
+	}
+	if !(beta >= 0 && beta <= 1) {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs beta in [0, 1], got %v", beta)
+	}
+	if k >= n && n > 0 {
+		return Complete(n, p)
+	}
+	r := xrand.New(seed)
+	edges := make([]graph.Edge, 0, int64(n)*int64(k)/2)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := uint32((u + j) % n)
+			if beta > 0 && r.Float64() < beta {
+				// Rewire the far endpoint; a draw that recreates a
+				// self-loop is resampled a bounded number of times and
+				// then kept as the lattice edge (FromEdges drops loops,
+				// so giving up never corrupts the graph).
+				for try := 0; try < 8; try++ {
+					w := uint32(r.Intn(n))
+					if w != uint32(u) {
+						v = w
+						break
+					}
+				}
+			}
+			edges = append(edges, graph.Edge{U: uint32(u), V: v})
+		}
+	}
+	return graph.FromEdges(n, edges, p)
+}
+
 // RandomRegular samples an (approximately) k-regular graph via the
 // configuration model with rejection of self-loops and duplicates: each
 // vertex gets k stubs, stubs are randomly paired. A bounded number of

@@ -233,3 +233,69 @@ func TestCaterpillar(t *testing.T) {
 		t.Fatalf("Δ=%d want 5", g.MaxDegree())
 	}
 }
+
+func TestWattsStrogatz(t *testing.T) {
+	g := validate(t)(WattsStrogatz(500, 6, 0.1, 3, 2))
+	if g.NumVertices() != 500 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	// Rewiring swaps endpoints one-for-one; only duplicate collisions
+	// shave edges off the lattice's n*k/2 = 1500.
+	if g.NumEdges() < 1400 || g.NumEdges() > 1500 {
+		t.Fatalf("m=%d want ~1500", g.NumEdges())
+	}
+	// Constant-degree regime: no hub should emerge at beta=0.1.
+	if g.MaxDegree() > 6+8 {
+		t.Fatalf("Δ=%d: rewiring built a hub", g.MaxDegree())
+	}
+}
+
+func TestWattsStrogatzBetaExtremes(t *testing.T) {
+	// beta=0 is the exact ring lattice: every vertex has degree k.
+	lat := validate(t)(WattsStrogatz(100, 4, 0, 1, 1))
+	if lat.NumEdges() != 200 || lat.MinDegree() != 4 || lat.MaxDegree() != 4 {
+		t.Fatalf("lattice m=%d deg=[%d,%d], want 200 edges all degree 4", lat.NumEdges(), lat.MinDegree(), lat.MaxDegree())
+	}
+	// beta=1 rewires everything; the edge count stays near n*k/2.
+	rw := validate(t)(WattsStrogatz(100, 4, 1, 2, 1))
+	if rw.NumEdges() < 170 || rw.NumEdges() > 200 {
+		t.Fatalf("fully rewired m=%d want ~200", rw.NumEdges())
+	}
+}
+
+func TestWattsStrogatzDeterministicAcrossP(t *testing.T) {
+	a := validate(t)(WattsStrogatz(300, 6, 0.2, 7, 1))
+	b := validate(t)(WattsStrogatz(300, 6, 0.2, 7, 4))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("seeded generator not deterministic across p")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(uint32(v)), b.Neighbors(uint32(v))
+		if len(na) != len(nb) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	if _, err := WattsStrogatz(10, 3, 0.1, 1, 1); err == nil {
+		t.Fatal("odd k accepted")
+	}
+	if _, err := WattsStrogatz(10, 4, 1.5, 1, 1); err == nil {
+		t.Fatal("beta > 1 accepted")
+	}
+	if _, err := WattsStrogatz(-1, 4, 0.1, 1, 1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	// k >= n degenerates to a clique, like BA.
+	g := validate(t)(WattsStrogatz(4, 6, 0.5, 1, 1))
+	if g.NumEdges() != 6 {
+		t.Fatalf("m=%d want 6 (K4)", g.NumEdges())
+	}
+	validate(t)(WattsStrogatz(0, 0, 0, 1, 1))
+}

@@ -1,7 +1,8 @@
 // Package proptest is the cross-cutting property suite: for every
 // algorithm in the harness registry crossed with every graph family of
-// the evaluation (Kronecker, Erdős–Rényi, grid, complete bipartite) it
-// asserts the three guarantees the paper states and this codebase
+// the evaluation (Kronecker, Erdős–Rényi, grid, complete bipartite,
+// Watts–Strogatz small-world, Barabási–Albert preferential attachment)
+// it asserts the three guarantees the paper states and this codebase
 // leans on everywhere —
 //
 //  1. properness: every run returns a proper coloring (also re-checked
@@ -37,7 +38,7 @@ type Family struct {
 }
 
 // Families builds the property-test graph set: small instances of the
-// four families so the full algorithm × family × procs cross product
+// six families so the full algorithm × family × procs cross product
 // stays test-suite fast.
 func Families() ([]Family, error) {
 	type build struct {
@@ -49,12 +50,16 @@ func Families() ([]Family, error) {
 	er, eerr := gen.ErdosRenyiGNM(400, 1600, 5, 0)
 	grid, gerr := gen.Grid2D(16, 16, 0)
 	bip, berr := gen.CompleteBipartite(10, 30, 0)
+	ws, werr := gen.WattsStrogatz(300, 6, 0.1, 9, 0)
+	ba, aerr := gen.BarabasiAlbert(300, 4, 11, 0)
 	var out []Family
 	for _, b := range []build{
 		{"kron", kron, kerr},
 		{"er", er, eerr},
 		{"grid", grid, gerr},
 		{"bipartite", bip, berr},
+		{"ws", ws, werr},
+		{"ba", ba, aerr},
 	} {
 		if b.err != nil {
 			return nil, fmt.Errorf("proptest: building %s: %v", b.name, b.err)

@@ -31,13 +31,17 @@ func TestAlgorithmFamilyProperties(t *testing.T) {
 
 // TestFamiliesCoverTheSpectrum pins the family set itself: the suite
 // must include a scale-free, a uniform-random, a constant-degeneracy
-// planar-ish and a bipartite instance, all structurally valid.
+// planar-ish, a bipartite, a small-world and a preferential-attachment
+// instance, all structurally valid.
 func TestFamiliesCoverTheSpectrum(t *testing.T) {
 	fams, err := Families()
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]bool{"kron": false, "er": false, "grid": false, "bipartite": false}
+	want := map[string]bool{
+		"kron": false, "er": false, "grid": false,
+		"bipartite": false, "ws": false, "ba": false,
+	}
 	for _, f := range fams {
 		if err := f.G.Validate(); err != nil {
 			t.Errorf("%s: %v", f.Name, err)

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"unsafe"
+)
+
+// Compact binary read protocol: GET /v1/color/bin serves a coloring as
+// a fixed 40-byte little-endian header followed by the raw []uint32
+// color array — no JSON, no base64, no per-element encode loop. For a
+// scale-12 Kronecker graph the JSON includeColors response is ~25 KB
+// of digits and commas per request; the binary response is 4 bytes per
+// vertex, written straight from the cached entry's array (an unsafe
+// zero-copy byte view on little-endian hosts, the same idiom the
+// store's snapshot codec uses). With algorithm=maintained the daemon
+// serves the maintained dynamic coloring instead of a computed one —
+// and when the mmapped store snapshot captures the current graph
+// version, the color bytes come straight out of the page cache
+// (store.SnapshotColors), touching no heap at all.
+//
+// Layout (all little-endian):
+//
+//	offset  size  field
+//	0       8     magic "PCCOLOR1"
+//	8       8     graphVersion  uint64
+//	16      8     seed          uint64
+//	24      8     epsilon       float64 (IEEE 754 bits)
+//	32      4     n             uint32  (vertex count = color count)
+//	36      4     numColors     uint32  (distinct colors)
+//	40      n*4   colors        []uint32
+//
+// The endpoint routes by cache key exactly like POST /v1/color (same
+// colorRouteKey, same home node, same X-Colord-Cache hints), so a
+// client mixing the two protocols hits the same cluster-wide cache
+// entry either way.
+
+// binContentType is the /v1/color/bin response media type.
+const binContentType = "application/x-colord-coloring"
+
+// ColorBinContentType is the exported name of the /v1/color/bin media
+// type, for clients (colorload) asserting they got the binary wire
+// format and not a proxy-mangled JSON body.
+const ColorBinContentType = binContentType
+
+// binMagic opens every binary coloring response.
+const binMagic = "PCCOLOR1"
+
+// binHeaderSize is the fixed header length in bytes.
+const binHeaderSize = 40
+
+// AlgorithmMaintained selects the maintained dynamic coloring on
+// /v1/color/bin instead of a harness algorithm.
+const AlgorithmMaintained = "maintained"
+
+// colorsLEBytes views colors as its little-endian byte encoding —
+// zero-copy on little-endian hosts (the slice aliases the array, which
+// is immutable once cached or snapshot-resident), an explicit encode
+// on big-endian ones.
+func colorsLEBytes(colors []uint32) []byte {
+	if len(colors) == 0 {
+		return nil
+	}
+	if littleEndianHost {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&colors[0])), len(colors)*4)
+	}
+	out := make([]byte, len(colors)*4)
+	for i, v := range colors {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// littleEndianHost reports whether the host stores integers
+// little-endian (mirrors the store snapshot codec's probe).
+var littleEndianHost = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// binHeader assembles the fixed response header.
+func binHeader(version, seed uint64, eps float64, n, numColors int) []byte {
+	h := make([]byte, binHeaderSize)
+	copy(h, binMagic)
+	binary.LittleEndian.PutUint64(h[8:], version)
+	binary.LittleEndian.PutUint64(h[16:], seed)
+	binary.LittleEndian.PutUint64(h[24:], math.Float64bits(eps))
+	binary.LittleEndian.PutUint32(h[32:], uint32(n))
+	binary.LittleEndian.PutUint32(h[36:], uint32(numColors))
+	return h
+}
+
+// writeColorBin writes one binary coloring response.
+func writeColorBin(w http.ResponseWriter, version, seed uint64, eps float64, numColors int, colors []uint32) {
+	payload := colorsLEBytes(colors)
+	w.Header().Set("Content-Type", binContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(binHeaderSize+len(payload)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(binHeader(version, seed, eps, len(colors), numColors))
+	_, _ = w.Write(payload)
+}
+
+// renderColorBin is the binary render hook for the key-routed read
+// path (the counterpart of writeJSONCompact on the JSON path).
+func renderColorBin(w http.ResponseWriter, resp *ColorResponse) {
+	writeColorBin(w, resp.GraphVersion, resp.Seed, resp.Epsilon, resp.NumColors, resp.Colors)
+}
+
+// DecodeColorBin parses a /v1/color/bin response body back into its
+// fields — the client half of the binary protocol (colorload -binary,
+// tests). The returned colors slice is freshly allocated; it never
+// aliases data.
+func DecodeColorBin(data []byte) (version, seed uint64, eps float64, numColors int, colors []uint32, err error) {
+	if len(data) < binHeaderSize {
+		return 0, 0, 0, 0, nil, fmt.Errorf("binary coloring: body %d bytes, want at least the %d-byte header", len(data), binHeaderSize)
+	}
+	if string(data[:8]) != binMagic {
+		return 0, 0, 0, 0, nil, fmt.Errorf("binary coloring: bad magic %q (want %q)", data[:8], binMagic)
+	}
+	version = binary.LittleEndian.Uint64(data[8:])
+	seed = binary.LittleEndian.Uint64(data[16:])
+	eps = math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
+	n := int(binary.LittleEndian.Uint32(data[32:]))
+	numColors = int(binary.LittleEndian.Uint32(data[36:]))
+	if want := binHeaderSize + n*4; len(data) != want {
+		return 0, 0, 0, 0, nil, fmt.Errorf("binary coloring: body %d bytes, header says %d (n=%d)", len(data), want, n)
+	}
+	colors = make([]uint32, n)
+	for i := range colors {
+		colors[i] = binary.LittleEndian.Uint32(data[binHeaderSize+i*4:])
+	}
+	return version, seed, eps, numColors, colors, nil
+}
+
+// parseColorBinQuery maps /v1/color/bin's query string onto the same
+// ColorRequest POST /v1/color takes: ?graph=G&algorithm=A[&seed=N]
+// [&eps=F][&procs=N][&timeoutMillis=N][&noCache=1]. IncludeColors is
+// implied — the color array IS the response.
+func parseColorBinQuery(q url.Values) (ColorRequest, error) {
+	req := ColorRequest{IncludeColors: true}
+	req.Graph = q.Get("graph")
+	req.Algorithm = q.Get("algorithm")
+	if req.Graph == "" || req.Algorithm == "" {
+		return req, fmt.Errorf("%w: want ?graph=NAME&algorithm=ALGO", ErrBadRequest)
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("%w: seed: %v", ErrBadRequest, err)
+		}
+		req.Seed = seed
+	}
+	if v := q.Get("eps"); v != "" {
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, fmt.Errorf("%w: eps: %v", ErrBadRequest, err)
+		}
+		req.Epsilon = eps
+	}
+	if v := q.Get("procs"); v != "" {
+		procs, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("%w: procs: %v", ErrBadRequest, err)
+		}
+		req.Procs = procs
+	}
+	if v := q.Get("timeoutMillis"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("%w: timeoutMillis: %v", ErrBadRequest, err)
+		}
+		req.TimeoutMillis = ms
+	}
+	if v := q.Get("noCache"); v == "1" || v == "true" {
+		req.NoCache = true
+	}
+	return req, nil
+}
+
+// handleColorBin serves GET /v1/color/bin.
+func (s *Server) handleColorBin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, fmt.Errorf("%w: %s on /v1/color/bin (want GET)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	s.colorRequests.Add(1)
+	req, err := parseColorBinQuery(r.URL.Query())
+	if err != nil {
+		s.colorErrors.Add(1)
+		writeError(w, err)
+		return
+	}
+	// Key-routed like POST /v1/color ("maintained" hashes like an
+	// algorithm name, so every node agrees on its home too).
+	if s.routeColorRead(w, r, req, nil, renderColorBin) {
+		return
+	}
+	if req.Algorithm == AlgorithmMaintained {
+		s.serveMaintainedBin(w, req)
+		return
+	}
+	resp, err := s.mgr.Color(r.Context(), req)
+	if err != nil {
+		s.colorErrors.Add(1)
+		writeError(w, err)
+		return
+	}
+	s.setCacheHint(w, req, resp.Cached || resp.Coalesced)
+	renderColorBin(w, resp)
+}
+
+// serveMaintainedBin answers algorithm=maintained: the maintained
+// dynamic coloring at the graph's current version. Preference order:
+//
+//  1. the store's mmapped snapshot, when it captures exactly the
+//     current version — zero-copy from the page cache;
+//  2. the in-memory maintained coloring (graphs mutated since the
+//     last fold, or memory-only daemons);
+//  3. 404 — the graph was never mutated and never folded with a
+//     coloring, so no maintained coloring exists yet.
+func (s *Server) serveMaintainedBin(w http.ResponseWriter, req ColorRequest) {
+	entry, err := s.reg.Get(req.Graph)
+	if err != nil {
+		s.colorErrors.Add(1)
+		writeError(w, err)
+		return
+	}
+	version := entry.Version()
+	if s.st != nil {
+		if colors, snapVersion, ok := s.st.SnapshotColors(req.Graph); ok && snapVersion == version {
+			s.setCacheHint(w, req, true)
+			writeColorBin(w, version, mutateOptions.Seed, mutateOptions.Epsilon, distinctColors(colors), colors)
+			return
+		}
+	}
+	if colors, numColors, dynVersion, ok := entry.MaintainedColors(); ok {
+		s.setCacheHint(w, req, true)
+		writeColorBin(w, dynVersion, mutateOptions.Seed, mutateOptions.Epsilon, numColors, colors)
+		return
+	}
+	s.colorErrors.Add(1)
+	writeError(w, fmt.Errorf("%w: graph %q has no maintained coloring yet (mutate it, or request an algorithm)", ErrNotFound, req.Graph))
+}
+
+// distinctColors counts the distinct values in colors (the snapshot
+// stores the palette, not its size).
+func distinctColors(colors []uint32) int {
+	seen := make(map[uint32]struct{}, 64)
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}

@@ -100,6 +100,24 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 	return el.Value.(*cacheNode).entry, true
 }
 
+// Peek returns the cached entry for k like Get, but a lookup that
+// finds nothing is NOT counted as a miss. The key-routing read path
+// uses it on off-home placement members: an absent entry there is the
+// expected steady state (the key lives on its home node), and counting
+// it would make the cache hit rate report routing topology instead of
+// cache effectiveness.
+func (c *Cache) Peek(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheNode).entry, true
+}
+
 // Put inserts or refreshes k, evicting the least recently used entry
 // when over capacity.
 func (c *Cache) Put(k Key, e *Entry) {

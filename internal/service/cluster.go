@@ -129,6 +129,13 @@ type clusterState struct {
 	watermarks map[string]map[string]uint64
 	diverged   map[string]map[string]string
 
+	// pipeMu guards pipes: the per-(graph, peer) windowed replication
+	// senders (replpipe.go). pipeWindow is the per-pipe bound on
+	// outstanding records.
+	pipeMu     sync.Mutex
+	pipes      map[string]map[string]*replPipe
+	pipeWindow int
+
 	// leaseMu guards leaseExp: the holder-side lease terms (see
 	// lease.go). Separate from mu — lease renewal RPCs must not nest
 	// inside the watermark lock.
@@ -145,6 +152,9 @@ type ClusterOptions struct {
 	// including internal retries and target re-resolution (<= 0
 	// selects DefaultProxyTimeout).
 	ProxyTimeout time.Duration
+	// PipelineWindow bounds records outstanding per (graph, peer)
+	// replication pipe (<= 0 selects DefaultPipelineWindow).
+	PipelineWindow int
 }
 
 // AttachCluster mounts the cluster view behind the server. Call before
@@ -160,6 +170,10 @@ func (s *Server) AttachCluster(c *cluster.Cluster, opts ClusterOptions) {
 	if proxyTimeout <= 0 {
 		proxyTimeout = DefaultProxyTimeout
 	}
+	window := opts.PipelineWindow
+	if window <= 0 {
+		window = DefaultPipelineWindow
+	}
 	s.cl = &clusterState{
 		c:            c,
 		proxyClient:  &http.Client{Transport: faultinject.Transport(nil)},
@@ -168,6 +182,8 @@ func (s *Server) AttachCluster(c *cluster.Cluster, opts ClusterOptions) {
 		proxyTimeout: proxyTimeout,
 		watermarks:   make(map[string]map[string]uint64),
 		diverged:     make(map[string]map[string]string),
+		pipes:        make(map[string]map[string]*replPipe),
+		pipeWindow:   window,
 		leaseExp:     make(map[string]time.Time),
 	}
 }
@@ -198,10 +214,16 @@ func batchHash(version uint64, b *dynamic.Batch) uint64 {
 
 // unavailable writes a 503 with Retry-After — the "not right now"
 // response of the routing layer (placement set down, catch-up in
-// progress, routing views disagreeing mid-failover).
+// progress, routing views disagreeing mid-failover). An error that
+// already classifies itself as a 503 (ErrUnavailable, or ErrFenced
+// with its own envelope code) keeps its chain rather than being
+// re-wrapped, so the envelope's code stays specific.
 func unavailable(w http.ResponseWriter, err error) {
 	w.Header().Set("Retry-After", "1")
-	writeError(w, fmt.Errorf("%w: %v", ErrUnavailable, err))
+	if !errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrFenced) {
+		err = fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	writeError(w, err)
 }
 
 // routeWrite decides where a write for graph lands. Returns true when
@@ -233,7 +255,7 @@ func (s *Server) routeWrite(w http.ResponseWriter, r *http.Request, graph string
 		unavailable(w, fmt.Errorf("no alive node in the placement set of %q", graph))
 		return true
 	}
-	s.proxy(w, r, graph, primary, body)
+	s.proxy(w, r, graph, primary, body, nil)
 	return true
 }
 
@@ -279,7 +301,7 @@ func (s *Server) routeRead(w http.ResponseWriter, r *http.Request, graph string,
 		unavailable(w, fmt.Errorf("no alive node in the placement set of %q", graph))
 		return true
 	}
-	s.proxy(w, r, graph, primary, body)
+	s.proxy(w, r, graph, primary, body, nil)
 	return true
 }
 
@@ -294,7 +316,15 @@ func (s *Server) routeRead(w http.ResponseWriter, r *http.Request, graph string,
 // whose retry lands on the promoted replica, so a mid-failover client
 // sees one slightly slower response instead of a 502. Only when every
 // attempt fails does the client get 502 + Retry-After.
-func (s *Server) proxy(w http.ResponseWriter, r *http.Request, graph, target string, body []byte) {
+//
+// resolve picks the retry target: nil selects the active primary (the
+// write-path and graph-read rule); the key-routed color path passes
+// its own resolver so a retry lands on the key's NEXT home — the same
+// node every other proxy re-resolving that key picks.
+func (s *Server) proxy(w http.ResponseWriter, r *http.Request, graph, target string, body []byte, resolve func() (string, bool)) {
+	if resolve == nil {
+		resolve = func() (string, bool) { return s.cl.c.ActivePrimary(graph) }
+	}
 	s.clusterProxied.Add(1)
 	ctx := r.Context()
 	if s.cl.proxyTimeout > 0 {
@@ -317,7 +347,7 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request, graph, target str
 				continue
 			case <-t.C:
 			}
-			next, ok := s.cl.c.ActivePrimary(graph)
+			next, ok := resolve()
 			if !ok {
 				break
 			}
@@ -353,12 +383,25 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request, graph, target str
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			w.Header().Set("Retry-After", ra)
 		}
+		// Relay the cache placement hints: the client learns which node
+		// is the key's home from the proxied response itself and can
+		// send its next request for the key straight there.
+		if ch := resp.Header.Get(cacheHeader); ch != "" {
+			w.Header().Set(cacheHeader, ch)
+		}
+		if kh := resp.Header.Get(keyHomeHeader); kh != "" {
+			w.Header().Set(keyHomeHeader, kh)
+		}
 		w.WriteHeader(resp.StatusCode)
 		_, _ = io.Copy(w, resp.Body)
 		return
 	}
 	w.Header().Set("Retry-After", "1")
-	writeJSON(w, http.StatusBadGateway, apiError{Error: fmt.Sprintf("proxying to %s: %v", target, lastErr)})
+	writeJSON(w, http.StatusBadGateway, apiError{
+		Error:        fmt.Sprintf("proxying to %s: %v", target, lastErr),
+		Code:         "unavailable",
+		RetryAfterMs: 1000,
+	})
 }
 
 // replicateRequest is the POST /v1/internal/replicate body: one
@@ -407,13 +450,18 @@ func decodeWireBatch(b64 string) (dynamic.Batch, error) {
 }
 
 // replicateBatch streams one applied batch to every alive replica in
-// the graph's placement set, synchronously — it runs inside the
-// entry's mutation lock, before the WAL append and the client ack, so
-// an acknowledged batch is durable on every replica that was alive
-// when it was acked (kill -9 of the primary then loses nothing that
-// was acknowledged). Down replicas are skipped (they pull the tail on
-// rejoin); failed or diverged replicas are recorded and skipped by the
-// watermark. Returns how many replicas acked this version.
+// the graph's placement set — it runs inside the entry's mutation
+// lock, before the WAL append and the client ack, so an acknowledged
+// batch is durable on every replica that was alive when it was acked
+// (kill -9 of the primary then loses nothing that was acknowledged).
+// The sends travel through the per-(graph, peer) replication pipes
+// (replpipe.go): every alive replica's POST runs concurrently and
+// replicateBatch blocks until ALL of this batch's outcomes are back,
+// so the R-replica write path costs one replication round trip
+// instead of R sequential ones while keeping the ack contract intact.
+// Down replicas are skipped (they pull the tail on rejoin); failed or
+// diverged replicas are recorded and skipped by the watermark.
+// Returns how many replicas acked this version.
 func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch) int {
 	c := s.cl.c
 	enc := b.AppendBinary(make([]byte, 0, 64))
@@ -429,12 +477,24 @@ func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch) 
 		s.clusterReplErrors.Add(1)
 		return 0
 	}
-	acked := 0
+	// Enqueue-all first, collect second: the pipes' sender goroutines
+	// overlap the POSTs across replicas.
+	type pending struct {
+		peer string
+		send *replSend
+	}
+	var sent []pending
 	for _, peer := range c.Placement(e.Name) {
 		if peer == c.Self() || !c.Alive(peer) {
 			continue
 		}
-		ack, status, err := s.postReplicate(peer, payload)
+		sent = append(sent, pending{peer: peer, send: s.pipeFor(e.Name, peer).enqueue(version, payload)})
+	}
+	acked := 0
+	for _, pd := range sent {
+		peer := pd.peer
+		out := <-pd.send.done
+		ack, status, err := out.ack, out.status, out.err
 		switch {
 		case err != nil:
 			s.clusterReplErrors.Add(1)
@@ -695,7 +755,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		}
 		if serr != nil {
 			if errors.Is(serr, errReplDiverged) {
-				writeError(w, fmt.Errorf("%w: %v", ErrConflict, serr))
+				writeError(w, fmt.Errorf("%w: %v", ErrDiverged, serr))
 			} else {
 				unavailable(w, fmt.Errorf("replica cannot sync %q from %s: %v", req.Graph, req.From, serr))
 			}
@@ -705,7 +765,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case errors.Is(err, errReplDiverged):
-		writeError(w, fmt.Errorf("%w: %v", ErrConflict, err))
+		writeError(w, fmt.Errorf("%w: %v", ErrDiverged, err))
 		return
 	case err != nil:
 		unavailable(w, err)
@@ -1090,6 +1150,14 @@ type ClusterMetrics struct {
 	LeaseRenewals     int64  `json:"leaseRenewals"`
 	LeaseFenced       int64  `json:"leaseFenced"`
 	Resyncs           int64  `json:"resyncs"`
+	// KeyHomeServes counts /v1/color responses this node served as the
+	// request key's home; KeyLocalHits counts off-home local-cache
+	// serves (key resident here despite living on another home).
+	KeyHomeServes int64 `json:"keyHomeServes"`
+	KeyLocalHits  int64 `json:"keyLocalHits"`
+	// PipelineWindow is the configured per-(graph, peer) replication
+	// window bound.
+	PipelineWindow int `json:"pipelineWindow"`
 }
 
 // clusterStatusGraph is one graph's placement view in /v1/cluster/status.

@@ -412,13 +412,20 @@ func TestClusterPeerDownMidProxyFailsOverOnRetry(t *testing.T) {
 	if resp, body := postJSON(t, outsider.url+"/v1/graphs", map[string]string{"name": g, "spec": "kron:8"}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("register: %d %s", resp.StatusCode, body)
 	}
+	// Pick a seed whose cache key homes on the primary: reads are
+	// key-routed now, and this test wants the proxied read to target
+	// the node it is about to kill.
+	req := ColorRequest{Graph: g, Algorithm: "JP-ADG", Seed: 1}
+	for outsider.c().KeyOrder(g, colorRouteKey(req))[0] != primary.url {
+		req.Seed++
+	}
 	// Kill the primary's listener. The proxied request hits the dead
 	// socket; the transport failure marks the primary down (FailAfter=1)
-	// and the proxy re-resolves to the promoted replica and retries
-	// INSIDE the same client request — the client sees one success, not
-	// a 502 it must retry itself.
+	// and the proxy re-resolves to the key's next home — the replica —
+	// and retries INSIDE the same client request: the client sees one
+	// success, not a 502 it must retry itself.
 	primary.ts.Close()
-	resp, body := postJSON(t, outsider.url+"/v1/color", ColorRequest{Graph: g, Algorithm: "JP-ADG", Seed: 1})
+	resp, body := postJSON(t, outsider.url+"/v1/color", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("proxy with in-flight failover: %d %s, want 200", resp.StatusCode, body)
 	}

@@ -23,4 +23,42 @@ var (
 	// down, a promoted node still catching up, or membership views
 	// disagreeing mid-failover. Retrying is the correct client move.
 	ErrUnavailable = errors.New("temporarily unavailable")
+	// ErrFenced maps to 503 like ErrUnavailable but carries its own
+	// envelope code: the write was refused because this primary could
+	// not renew its majority lease — an isolated or just-demoted node
+	// fencing itself rather than acking a write the cluster would lose.
+	ErrFenced = errors.New("primary fenced")
+	// ErrDiverged maps to 409 like ErrConflict but carries its own
+	// envelope code: the replica's version chain provably forked from
+	// the sender's and replication must not merge the histories.
+	ErrDiverged = errors.New("chain diverged")
 )
+
+// errorCode maps an error chain to the machine-readable `code` field
+// of the JSON error envelope. One code per sentinel: clients branch on
+// codes, never on the human-facing message text (which is free to
+// change). The specific classes are checked before the general ones
+// they share a status with (fenced before unavailable, diverged before
+// conflict).
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request"
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
+	case errors.Is(err, ErrDiverged):
+		return "diverged"
+	case errors.Is(err, ErrConflict):
+		return "conflict"
+	case errors.Is(err, ErrMethodNotAllowed):
+		return "method_not_allowed"
+	case errors.Is(err, ErrFenced):
+		return "fenced"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
+	case errors.Is(err, ErrCancelled):
+		return "cancelled"
+	default:
+		return "internal"
+	}
+}

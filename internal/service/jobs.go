@@ -298,6 +298,60 @@ func (m *Manager) Color(ctx context.Context, req ColorRequest) (*ColorResponse, 
 	}
 }
 
+// ColorCached answers req from the local result cache alone: no
+// computation, no single-flight wait, no slot. ok is false whenever
+// the cached-serve preconditions don't hold (unknown graph or
+// algorithm, non-deterministic scheme, NoCache, invalid epsilon) or
+// the key simply isn't resident — the caller falls back to the full
+// Color path (or routes the request to the key's home node). Absent
+// keys are probed with Cache.Peek, so the steady-state "not resident
+// here, lives on its home" case does not pollute the miss counter.
+func (m *Manager) ColorCached(req ColorRequest) (*ColorResponse, bool) {
+	if req.NoCache {
+		return nil, false
+	}
+	entry, err := m.reg.Get(req.Graph)
+	if err != nil {
+		return nil, false
+	}
+	_, version, err := entry.View()
+	if err != nil {
+		return nil, false
+	}
+	algo, err := harness.Lookup(req.Algorithm)
+	if err != nil || !algo.Deterministic {
+		return nil, false
+	}
+	eps := req.Epsilon
+	if eps == 0 {
+		eps = 0.01
+	}
+	if !(eps >= 0) {
+		return nil, false
+	}
+	e, ok := m.cache.Peek(Key{Graph: req.Graph, Version: version, Algorithm: algo.Name, Seed: req.Seed, Epsilon: eps})
+	if !ok {
+		return nil, false
+	}
+	resp := &ColorResponse{
+		Graph:          req.Graph,
+		GraphVersion:   version,
+		Algorithm:      algo.Name,
+		Seed:           req.Seed,
+		Epsilon:        eps,
+		NumColors:      e.NumColors,
+		Rounds:         e.Rounds,
+		Verified:       true,
+		Deterministic:  true,
+		Cached:         true,
+		ComputeSeconds: e.ComputeSeconds,
+	}
+	if req.IncludeColors {
+		resp.Colors = e.Colors
+	}
+	return resp, true
+}
+
 // lead runs the computation as the single-flight leader: acquire a slot
 // (the caller already armed the request deadline on ctx), run checked,
 // publish to cache and followers.

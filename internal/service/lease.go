@@ -154,8 +154,8 @@ func (s *Server) ensureLease(graph string) error {
 	}
 	if grants < need {
 		s.clusterLeaseFenced.Add(1)
-		return fmt.Errorf("write lease for %q not held: %d/%d grants (last: %v) — fenced until a majority agrees this node is the primary",
-			graph, grants, need, lastReason)
+		return fmt.Errorf("%w: write lease for %q not held: %d/%d grants (last: %v) — fenced until a majority agrees this node is the primary",
+			ErrFenced, graph, grants, need, lastReason)
 	}
 	cl.leaseMu.Lock()
 	cl.leaseExp[graph] = start.Add(dur)

@@ -155,6 +155,19 @@ func (e *GraphEntry) View() (*graph.Graph, uint64, error) {
 	return g, e.dyn.Version(), err
 }
 
+// MaintainedColors returns a copy of the maintained dynamic coloring
+// with its distinct color count and version, as one consistent triple.
+// ok is false when the entry was never mutated (no maintained coloring
+// exists yet — the base graph serves static requests only).
+func (e *GraphEntry) MaintainedColors() (colors []uint32, numColors int, version uint64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn == nil {
+		return nil, 0, 0, false
+	}
+	return e.dyn.Colors(), e.dyn.NumColors(), e.dyn.Version(), true
+}
+
 // Version returns the entry's current mutation version.
 func (e *GraphEntry) Version() uint64 {
 	e.mu.Lock()
@@ -239,6 +252,7 @@ const (
 //	kron:scale[:edgeFactor[:seed]]   Kronecker/RMAT, default ef 16 seed 1
 //	er:n:m[:seed]                    Erdős–Rényi G(n,m), default seed 1
 //	ba:n:k[:seed]                    Barabási–Albert, default seed 1
+//	ws:n:k[:betaPct[:seed]]          Watts–Strogatz, default beta 10% seed 1
 //	grid:rows:cols                   2D lattice
 //	community:n:k[:seed]             planted partition, pIn 0.15, mOut 4n
 func BuildSpec(spec string) (*graph.Graph, error) {
@@ -335,6 +349,27 @@ func BuildSpec(spec string) (*graph.Graph, error) {
 			return nil, fmt.Errorf("%w: spec %q: rows*cols must be in [1, 2^%d]", ErrBadRequest, spec, maxSpecScale)
 		}
 		return gen.Grid2D(int(rows), int(cols), 0)
+	case "ws":
+		// ws:n:k[:betaPct[:seed]] — Watts–Strogatz ring lattice, k even
+		// neighbors per vertex, each lattice edge rewired with
+		// probability betaPct/100 (default 10%).
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		n, k, betaPct, seed := num(0, 0), num(1, 0), num(2, 10), num(3, 1)
+		if bad != nil {
+			return nil, bad
+		}
+		if n < 1 || n > 1<<maxSpecScale {
+			return nil, fmt.Errorf("%w: spec %q: n must be in [1, 2^%d]", ErrBadRequest, spec, maxSpecScale)
+		}
+		if k < 0 || k%2 != 0 || n*k/2 > maxSpecEdges {
+			return nil, fmt.Errorf("%w: spec %q: need even k >= 0 and n*k/2 <= %d", ErrBadRequest, spec, maxSpecEdges)
+		}
+		if betaPct < 0 || betaPct > 100 {
+			return nil, fmt.Errorf("%w: spec %q: betaPct must be in [0, 100]", ErrBadRequest, spec)
+		}
+		return gen.WattsStrogatz(int(n), int(k), float64(betaPct)/100, uint64(seed), 0)
 	case "community":
 		if err := need(2); err != nil {
 			return nil, err
@@ -351,6 +386,6 @@ func BuildSpec(spec string) (*graph.Graph, error) {
 		}
 		return gen.Community(int(n), int(k), 0.15, 4*n, uint64(seed), 0)
 	default:
-		return nil, fmt.Errorf("%w: unknown generator %q (want kron|er|ba|grid|community)", ErrBadRequest, kind)
+		return nil, fmt.Errorf("%w: unknown generator %q (want kron|er|ba|ws|grid|community)", ErrBadRequest, kind)
 	}
 }

@@ -1,0 +1,141 @@
+package service
+
+// Pipelined replication: instead of one synchronous replicate-POST per
+// peer, issued sequentially inside the write path, every (graph, peer)
+// pair owns a replPipe — a single sender goroutine draining a bounded
+// FIFO window of outstanding records. Two properties follow:
+//
+//   - Fan-out parallelism: replicateBatch enqueues on every alive
+//     replica's pipe FIRST and collects the outcomes SECOND, so
+//     replicating one batch to R replicas costs one replication round
+//     trip, not R of them — multi-replica write latency stops growing
+//     linearly with the replica count.
+//   - In-order acks: one goroutine per pipe sends strictly FIFO, so a
+//     peer receives a graph's records in version order and its acks
+//     come back in the same order. Combined with setWatermark's
+//     forward-only rule, the durability watermark can never regress or
+//     skip — the same invariant the old sequential loop gave.
+//
+// The ack contract of PR 5/6 is preserved exactly: replicateBatch
+// still BLOCKS until this batch's outcome arrives from every enqueued
+// pipe (it runs under the graph entry's mutation lock, before the
+// client ack), acks only count toward the replicated watermark when
+// the replica reports the record durably persisted, and divergence
+// classification is byte-for-byte the old switch. The window depth
+// (ClusterOptions.PipelineWindow, default 4) bounds how many records
+// may queue behind a slow peer before enqueueing itself backpressures
+// the write path — with the per-graph serialization of mutations the
+// production window rarely exceeds one in flight, but the bound is the
+// safety rail that keeps a stalled replica from buffering unbounded
+// payload bytes.
+//
+// Membership epoch changes drain the pipes: a pipe created under epoch
+// E stops accepting new sends once the cluster moves to E+1 (its
+// in-flight records finish and their outcomes are still consumed), and
+// the next send builds a fresh pipe under the new epoch — so a record
+// enqueued before a failover can never be half-delivered to a peer the
+// new membership no longer routes to.
+
+// DefaultPipelineWindow is the default bound on records outstanding
+// per (graph, peer) replication pipe.
+const DefaultPipelineWindow = 4
+
+// replSend is one record traveling through a pipe. done is buffered
+// (capacity 1): the sender goroutine never blocks on a collector.
+type replSend struct {
+	version uint64
+	payload []byte
+	done    chan replOutcome
+}
+
+// replOutcome is the postReplicate verdict for one record, carried
+// back to the blocked replicateBatch for classification.
+type replOutcome struct {
+	ack    replicateResponse
+	status int
+	err    error
+}
+
+// replPipe is the windowed FIFO sender for one (graph, peer) pair.
+type replPipe struct {
+	graph string
+	peer  string
+	// epoch is the membership epoch the pipe was built under; a send
+	// observing a newer epoch closes the pipe and builds a successor.
+	epoch uint64
+	sends chan *replSend
+	// stopped is closed when the sender goroutine exits (tests use it
+	// to observe the drain).
+	stopped chan struct{}
+}
+
+// runPipe is the pipe's sender goroutine: strictly FIFO, one record in
+// flight at a time, exits when the pipe is closed (epoch change or
+// server shutdown) after finishing everything already enqueued.
+func (s *Server) runPipe(p *replPipe) {
+	defer close(p.stopped)
+	for send := range p.sends {
+		ack, status, err := s.postReplicate(p.peer, send.payload)
+		send.done <- replOutcome{ack: ack, status: status, err: err}
+	}
+}
+
+// enqueue submits one record, blocking while the window is full (the
+// write path's backpressure against a slow replica), and returns the
+// channel its outcome arrives on.
+func (p *replPipe) enqueue(version uint64, payload []byte) *replSend {
+	send := &replSend{version: version, payload: payload, done: make(chan replOutcome, 1)}
+	p.sends <- send
+	return send
+}
+
+// pipeFor returns the live pipe for (graph, peer), building it on
+// first use and rotating it when the membership epoch moved since it
+// was built. Callers for one graph are serialized under the graph
+// entry's mutation lock, so close-versus-enqueue on one pipe can never
+// race.
+func (s *Server) pipeFor(graph, peer string) *replPipe {
+	cs := s.cl
+	epoch := cs.c.Epoch()
+	cs.pipeMu.Lock()
+	defer cs.pipeMu.Unlock()
+	m := cs.pipes[graph]
+	if m == nil {
+		m = make(map[string]*replPipe)
+		cs.pipes[graph] = m
+	}
+	p := m[peer]
+	if p != nil && p.epoch != epoch {
+		// Drain on membership change: stop accepting sends (in-flight
+		// outcomes are still consumed by their waiting collectors) and
+		// let the successor bind to the new epoch.
+		close(p.sends)
+		delete(m, peer)
+		p = nil
+	}
+	if p == nil {
+		p = &replPipe{
+			graph:   graph,
+			peer:    peer,
+			epoch:   epoch,
+			sends:   make(chan *replSend, cs.pipeWindow),
+			stopped: make(chan struct{}),
+		}
+		m[peer] = p
+		go s.runPipe(p)
+	}
+	return p
+}
+
+// closePipes shuts every pipe down (server close): enqueued records
+// finish, sender goroutines exit.
+func (cs *clusterState) closePipes() {
+	cs.pipeMu.Lock()
+	defer cs.pipeMu.Unlock()
+	for _, m := range cs.pipes {
+		for peer, p := range m {
+			close(p.sends)
+			delete(m, peer)
+		}
+	}
+}

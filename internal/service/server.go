@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,8 @@ type Server struct {
 	clusterLeaseRenewals atomic.Int64
 	clusterLeaseFenced   atomic.Int64
 	clusterResyncs       atomic.Int64
+	clusterKeyHomeServes atomic.Int64
+	clusterKeyLocalHits  atomic.Int64
 
 	// faultAdmin gates /v1/admin/faults (colord's -fault-injection).
 	faultAdmin atomic.Bool
@@ -86,6 +89,7 @@ func NewServer(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/v1/graphs/", s.handleGraphSub)
 	s.mux.HandleFunc("/v1/color", s.handleColor)
+	s.mux.HandleFunc("/v1/color/bin", s.handleColorBin)
 	s.mux.HandleFunc("/v1/admin/compact", s.handleAdminCompact)
 	s.mux.HandleFunc("/v1/admin/faults", s.handleAdminFaults)
 	s.mux.HandleFunc("/v1/internal/replicate", s.handleReplicate)
@@ -113,9 +117,16 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// apiError is the uniform error body.
+// apiError is the uniform error envelope every non-2xx response
+// carries: the human-facing message, a machine-readable code (the
+// stable field clients branch on — see errorCode) and, for the
+// retryable classes, the server's own pacing estimate in milliseconds
+// (mirroring the Retry-After header, which only has 1-second
+// granularity).
 type apiError struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	Code         string `json:"code,omitempty"`
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
 }
 
 // writeJSON pretty-prints — for the small curl-facing documents
@@ -137,7 +148,12 @@ func writeJSONCompact(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps the service sentinel errors to HTTP statuses.
+// writeError maps the service sentinel errors to HTTP statuses and
+// renders the JSON error envelope. The 503 classes always carry a
+// Retry-After header plus its millisecond mirror in the envelope, so
+// every handler path that returns "not right now" paces its clients
+// the same way (unavailable() sets a header first; a bare writeError
+// with a 503-class error gets the 1-second default here).
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -145,18 +161,27 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrConflict):
+	case errors.Is(err, ErrConflict), errors.Is(err, ErrDiverged):
 		status = http.StatusConflict
 	case errors.Is(err, ErrMethodNotAllowed):
 		status = http.StatusMethodNotAllowed
-	case errors.Is(err, ErrUnavailable):
+	case errors.Is(err, ErrUnavailable), errors.Is(err, ErrFenced):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrCancelled):
 		// The run hit a deadline or the client went away. 504 is the
 		// closest standard status for "the work was cut off".
 		status = http.StatusGatewayTimeout
 	}
-	writeJSON(w, status, apiError{Error: err.Error()})
+	env := apiError{Error: err.Error(), Code: errorCode(err)}
+	if status == http.StatusServiceUnavailable {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+		if secs, perr := strconv.Atoi(w.Header().Get("Retry-After")); perr == nil && secs >= 0 {
+			env.RetryAfterMs = int64(secs) * 1000
+		}
+	}
+	writeJSON(w, status, env)
 }
 
 // graphUploadRequest is the POST /v1/graphs body: either a generator
@@ -187,11 +212,19 @@ type graphInfo struct {
 	MinDeg    int     `json:"minDeg"`
 	Isolate   int     `json:"isolated"`
 	Persisted bool    `json:"persisted"`
+	// Cluster placement (present only on cluster members): the
+	// rendezvous-first primary, the full placement set, and the home
+	// node of the graph's ZERO cache key — a stable sample of the
+	// key-routed read placement (each (algorithm, seed, epsilon) has
+	// its own home inside the placement set; see keyroute.go).
+	Primary   string   `json:"primary,omitempty"`
+	Replicas  []string `json:"replicas,omitempty"`
+	CacheHome string   `json:"cacheHome,omitempty"`
 }
 
 func (s *Server) infoOf(e *GraphEntry) graphInfo {
 	st, ver := e.StatsVersion()
-	return graphInfo{
+	info := graphInfo{
 		Name:      e.Name,
 		Spec:      e.Spec,
 		Version:   ver,
@@ -203,18 +236,63 @@ func (s *Server) infoOf(e *GraphEntry) graphInfo {
 		Isolate:   st.Isolated,
 		Persisted: s.st != nil && s.st.Has(e.Name),
 	}
+	if s.cl != nil {
+		c := s.cl.c
+		pl := c.Placement(e.Name)
+		info.Primary = pl[0]
+		info.Replicas = pl
+		if home, ok := c.KeyHome(e.Name, 0); ok {
+			info.CacheHome = home
+		}
+	}
+	return info
 }
 
 // handleGraphs serves POST (register) and GET (list) on /v1/graphs.
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
+		// Paginated: ?limit=N&offset=M over the name-sorted list (the
+		// registry's sort is the stable order pagination needs), with
+		// the pre-slicing total so clients can page to the end. No
+		// limit returns everything — the PR-4 behavior.
+		q := r.URL.Query()
+		limit, offset := -1, 0
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, fmt.Errorf("%w: limit must be a non-negative integer", ErrBadRequest))
+				return
+			}
+			limit = n
+		}
+		if v := q.Get("offset"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, fmt.Errorf("%w: offset must be a non-negative integer", ErrBadRequest))
+				return
+			}
+			offset = n
+		}
 		list := s.reg.List()
+		total := len(list)
+		if offset > total {
+			offset = total
+		}
+		list = list[offset:]
+		if limit >= 0 && limit < len(list) {
+			list = list[:limit]
+		}
 		infos := make([]graphInfo, len(list))
 		for i, e := range list {
 			infos[i] = s.infoOf(e)
 		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"graphs": infos})
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"graphs": infos,
+			"total":  total,
+			"offset": offset,
+			"count":  len(infos),
+		})
 	case http.MethodPost:
 		// Large edge lists compress an order of magnitude; accept
 		// Content-Encoding: gzip and bound BOTH the compressed read and
@@ -362,9 +440,14 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: parsing JSON: %v", ErrBadRequest, err))
 		return
 	}
-	// Colorings are reads: nodes holding the graph (primary or replica)
-	// serve locally, everyone else proxies to the active primary.
-	if s.routeRead(w, r, req.Graph, body) {
+	// Colorings are reads, routed by CACHE KEY rather than by graph:
+	// each (graph, algorithm, seed, epsilon) has one home node inside
+	// the placement set that computes and caches it (see keyroute.go);
+	// off-home placement members answer from their local cache when
+	// the key is resident and proxy to the home otherwise.
+	if s.routeColorRead(w, r, req, body, func(w http.ResponseWriter, resp *ColorResponse) {
+		writeJSONCompact(w, http.StatusOK, resp)
+	}) {
 		return
 	}
 	resp, err := s.mgr.Color(r.Context(), req)
@@ -373,6 +456,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.setCacheHint(w, req, resp.Cached || resp.Coalesced)
 	writeJSONCompact(w, http.StatusOK, resp)
 }
 
@@ -467,6 +551,9 @@ func (s *Server) SnapshotMetrics() Metrics {
 			LeaseRenewals:     s.clusterLeaseRenewals.Load(),
 			LeaseFenced:       s.clusterLeaseFenced.Load(),
 			Resyncs:           s.clusterResyncs.Load(),
+			KeyHomeServes:     s.clusterKeyHomeServes.Load(),
+			KeyLocalHits:      s.clusterKeyLocalHits.Load(),
+			PipelineWindow:    s.cl.pipeWindow,
 		}
 	}
 	m.SchemaVersions.AlgoRecord = harness.AlgoRecordSchemaVersion

@@ -10,11 +10,12 @@ THRESHOLD="${COVER_THRESHOLD:-80}"
 PKGS="repro/internal/graph repro/internal/jp repro/internal/order \
       repro/internal/spec repro/internal/verify repro/internal/dynamic \
       repro/internal/store repro/internal/cluster \
-      repro/internal/faultinject repro/internal/retry"
+      repro/internal/faultinject repro/internal/retry \
+      repro/internal/gen"
 # Every package above must print a coverage line: a package that loses
 # its tests reports "[no test files]" instead, which must fail the
 # gate, not slip past it.
-EXPECTED=10
+EXPECTED=11
 
 summary="$(mktemp)"
 trap 'rm -f "$summary"' EXIT

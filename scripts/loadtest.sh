@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Closed-loop load test: build colord + colorload, start the daemon,
-# drive it, print the latency/cache summary, shut down. Fails when any
-# request errors or any returned coloring fails client-side verification
-# (colorload exits non-zero in both cases).
+# Closed-loop load test, two passes:
+#
+#  1. single node, mixed color/mutate workload over JSON — fails when
+#     any request errors or any returned coloring fails client-side
+#     verification (colorload exits non-zero in both cases);
+#  2. 3-node cluster, read-heavy workload over the binary protocol
+#     (colorload -binary): key-routed reads round-robin across all
+#     three nodes, every coloring is verified and cross-checked
+#     byte-identical against JSON once per key, and the aggregate
+#     req/s must clear LOAD_BINARY_FLOOR (default 754.3 — the PR 5
+#     single-node MIXED workload rate: the clustered binary read path
+#     must beat the old write-sharing baseline outright).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,3 +47,62 @@ fi
 
 bin/colorload -addr "http://$ADDR" -graph loadtest -spec "$SPEC" \
     -c "$CLIENTS" -n "$REQUESTS" -verify -mutate-frac "$MUTATE"
+
+kill "$COLORD_PID" 2>/dev/null || true
+wait "$COLORD_PID" 2>/dev/null || true
+trap - EXIT
+
+# ---- pass 2: 3-node cluster, read-heavy binary protocol ----------------
+BASE_PORT="${LOAD_CLUSTER_BASE_PORT:-8745}"
+BIN_REQUESTS="${LOAD_BINARY_REQUESTS:-2000}"
+BIN_FLOOR="${LOAD_BINARY_FLOOR:-754.3}"
+
+PORTS=("$BASE_PORT" "$((BASE_PORT + 1))" "$((BASE_PORT + 2))")
+URLS=()
+for p in "${PORTS[@]}"; do URLS+=("http://127.0.0.1:$p"); done
+PEERS="$(IFS=,; echo "${URLS[*]}")"
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+for i in 0 1 2; do
+    bin/colord -addr "127.0.0.1:${PORTS[$i]}" -max-inflight "$INFLIGHT" \
+        -data-dir "$WORK/node$i" \
+        -cluster-self "${URLS[$i]}" -cluster-peers "$PEERS" \
+        -cluster-replicas 2 -cluster-probe-interval 250ms -cluster-fail-after 2 &
+    PIDS+=($!)
+done
+for u in "${URLS[@]}"; do
+    up=""
+    for _ in $(seq 100); do
+        if curl -sf "$u/healthz" >/dev/null 2>&1; then up=1; break; fi
+        sleep 0.1
+    done
+    [ -n "$up" ] || { echo "loadtest: cluster node $u never became healthy" >&2; exit 1; }
+done
+
+echo "loadtest: pass 2 — read-heavy binary protocol across ${URLS[*]}"
+BIN_OUT="$WORK/binary.out"
+bin/colorload -addr "$(IFS=,; echo "${URLS[*]}")" -graph loadbin -spec "$SPEC" \
+    -c "$CLIENTS" -n "$BIN_REQUESTS" -seeds 16 -verify -binary -mutate-frac 0 \
+    | tee "$BIN_OUT"
+
+# The summary line ends "... in 1.23s (1234.5 req/s)": hold it to the floor.
+awk -v floor="$BIN_FLOOR" '
+  / req\/s\)$/ {
+    rate = $(NF - 1)
+    sub(/\(/, "", rate)
+    seen = 1
+    if (rate + 0 <= floor + 0) {
+      printf "loadtest: binary read throughput %.1f req/s is not above the %.1f floor\n", rate, floor
+      exit 1
+    }
+    printf "loadtest: binary read throughput %.1f req/s clears the %.1f floor\n", rate, floor
+  }
+  END { if (!seen) { print "loadtest: no req/s summary line found"; exit 1 } }
+' "$BIN_OUT"
