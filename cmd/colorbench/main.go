@@ -10,6 +10,8 @@
 //	colorbench -list              # list experiments
 //	colorbench -json out.json     # machine-readable per-algorithm records
 //	                              # on the shared benchmark Kronecker graph
+//	colorbench -matrix out.json   # family × algorithm × worker-count sweep
+//	           [-algos JP-ADG,SPEC-ADG] [-plist 1,2,4]
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/harness"
 )
@@ -32,6 +36,9 @@ func main() {
 		trials     = flag.Int("trials", 3, "timed repetitions per point")
 		seed       = flag.Uint64("seed", 42, "random seed")
 		jsonOut    = flag.String("json", "", "write per-algorithm {schemaVersion, name, seconds, colors, rounds, edgesScanned, forks, seqCutoffHits, p, goMaxProcs} records to this file")
+		matrixOut  = flag.String("matrix", "", "write the family × algorithm × worker-count sweep over the dataset suite to this file")
+		algosFlag  = flag.String("algos", "", "comma-separated algorithm names for -matrix (default: whole registry)")
+		plistFlag  = flag.String("plist", "", "comma-separated worker counts for -matrix (default: 1,2,4; -procs is ignored by the matrix)")
 	)
 	flag.Parse()
 
@@ -78,8 +85,44 @@ func main() {
 			return
 		}
 	}
+	if *matrixOut != "" {
+		var algos []string
+		if *algosFlag != "" {
+			algos = strings.Split(*algosFlag, ",")
+		}
+		var plist []int
+		if *plistFlag != "" {
+			for _, s := range strings.Split(*plistFlag, ",") {
+				p, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || p < 1 {
+					fmt.Fprintf(os.Stderr, "colorbench: -plist: %q is not a positive integer\n", s)
+					os.Exit(2)
+				}
+				plist = append(plist, p)
+			}
+		}
+		records, err := harness.MatrixReport(opts, algos, plist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: matrix report: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*matrixOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "colorbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d matrix records to %s\n", len(records), *matrixOut)
+		if *experiment == "" {
+			return
+		}
+	}
 	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "colorbench: -experiment required (or -list or -json)")
+		fmt.Fprintln(os.Stderr, "colorbench: -experiment required (or -list, -json or -matrix)")
 		os.Exit(2)
 	}
 	run := func(name string) {

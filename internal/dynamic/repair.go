@@ -215,13 +215,33 @@ func (c *Colored) fallbackRecolor(res *Result) error {
 	return nil
 }
 
-// repairLocal recolors exactly res.Dirty: JP over the dirty-induced
-// subgraph under a fresh ADG ordering of that subgraph, with the fixed
-// distance-1 neighborhood contributing forbidden colors. Writes stay
-// inside the dirty set; reads stay inside its distance-1 closure.
+// repairLocal recolors exactly res.Dirty over the overlay; see
+// RepairColors for the engine itself.
 func (c *Colored) repairLocal(res *Result) {
-	dirty := res.Dirty
-	p := c.opts.Procs
+	repaired, rounds := RepairColors(c.ov, c.colors, res.Dirty, c.opts, c.ov.Version())
+	res.Repaired = repaired
+	res.Rounds = rounds
+}
+
+// RepairColors recolors exactly dirty in place: JP over the
+// dirty-induced subgraph under a fresh ADG ordering of that subgraph,
+// with the fixed distance-1 neighborhood contributing forbidden colors.
+// Writes stay inside the dirty set; reads stay inside its distance-1
+// closure, so a proper coloring of the non-dirty region stays proper
+// and every dirty vertex ends properly colored (each receives the
+// smallest color unused by any current neighbor, with adjacent dirty
+// vertices sequenced by the priority DAG).
+//
+// src is any adjacency source — the mutable Overlay on the mutation
+// path, a plain CSR graph on the static speculate-and-repair path. The
+// ADG seed is mixed with salt so successive repairs draw fresh
+// tie-breaks while staying a deterministic function of (opts.Seed,
+// salt, dirty, colors): the result is bit-identical at any worker
+// count. It returns how many colors actually changed and the localized
+// JP pass's round count.
+func RepairColors(src Source, colors []uint32, dirty []uint32, opts Options, salt uint64) (repaired, rounds int) {
+	opts = opts.withDefaults()
+	p := opts.Procs
 	nd := len(dirty)
 	idx := make(map[uint32]int32, nd)
 	for i, v := range dirty {
@@ -234,7 +254,7 @@ func (c *Colored) repairLocal(res *Result) {
 	var localEdges []graph.Edge
 	maxDeg := 0
 	for i, v := range dirty {
-		adj[i] = c.ov.AppendNeighbors(nil, v)
+		adj[i] = src.AppendNeighbors(nil, v)
 		if len(adj[i]) > maxDeg {
 			maxDeg = len(adj[i])
 		}
@@ -244,23 +264,21 @@ func (c *Colored) repairLocal(res *Result) {
 			}
 		}
 	}
-	// The induced subgraph is tiny (bounded by the batch); FromEdges
-	// cannot fail here — ids are local indices by construction.
+	// The induced subgraph is tiny (bounded by the batch or conflict
+	// set); FromEdges cannot fail here — ids are local indices by
+	// construction.
 	sub, err := graph.FromEdges(nd, localEdges, p)
 	if err != nil {
 		panic(fmt.Sprintf("dynamic: induced subgraph: %v", err))
 	}
-	// JP-ADG-style priorities on the dirty region. The seed is mixed
-	// with the version so successive repairs draw fresh tie-breaks while
-	// staying a deterministic function of the batch history.
+	// JP-ADG-style priorities on the dirty region.
 	ord := order.ADG(sub, order.ADGOptions{
-		Epsilon: c.opts.Epsilon, Procs: p, Seed: c.opts.Seed + c.ov.Version(), Sorted: true,
+		Epsilon: opts.Epsilon, Procs: p, Seed: opts.Seed + salt, Sorted: true,
 	})
 	keys := ord.Keys
 	counts := order.PredCounts(sub, keys, p)
 	frontier := par.Pack(p, nd, func(i int) bool { return counts[i] == 0 })
 
-	colors := c.colors
 	newCol := make([]uint32, nd)
 	type workerState struct {
 		stamp []uint64
@@ -274,7 +292,7 @@ func (c *Colored) repairLocal(res *Result) {
 	nextCounts := make([]int32, p)
 	nextOffs := make([]int64, p+1)
 	for len(frontier) > 0 {
-		res.Rounds++
+		rounds++
 		fr := frontier
 		par.ForWorkers(p, len(fr), func(w, lo, hi int) {
 			st := states[w]
@@ -323,14 +341,13 @@ func (c *Colored) repairLocal(res *Result) {
 		frontier = nf
 	}
 
-	repaired := 0
 	for i, v := range dirty {
 		if colors[v] != newCol[i] {
 			colors[v] = newCol[i]
 			repaired++
 		}
 	}
-	res.Repaired = repaired
+	return repaired, rounds
 }
 
 // checkDirtyProper asserts the repair invariant on the region it could

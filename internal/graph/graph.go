@@ -51,6 +51,14 @@ func (g *Graph) Neighbors(v uint32) []uint32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// AppendNeighbors appends N(v) to buf and returns it. It satisfies the
+// same merged-adjacency contract dynamic.Overlay exposes, so code
+// written against that shape (conflict detection, localized repair)
+// runs over a plain CSR graph too.
+func (g *Graph) AppendNeighbors(buf []uint32, v uint32) []uint32 {
+	return append(buf, g.Neighbors(v)...)
+}
+
 // Offsets returns the CSR offset array (len n+1) as a shared read-only
 // view; callers must not modify it. It doubles as the arc-count prefix
 // used by par.ForBlocksWeighted for edge-balanced partitioning.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/par"
 	"repro/internal/spec"
+	"repro/internal/speculate"
 	"repro/internal/verify"
 )
 
@@ -240,7 +241,9 @@ func initRegistry() {
 		// (speculative reads race with concurrent writes) and ITRB
 		// (batch size derived from Procs). The JP-ADG/JP-ADG-M/DEC
 		// determinism is pinned by the p ∈ {1,2,8} tests in internal/jp
-		// and internal/spec.
+		// and internal/spec; SPEC-ADG's — the only deterministic member
+		// of the speculative family — by internal/speculate and the
+		// proptest matrix.
 		nonDeterministic := map[string]bool{"JP-ASL": true, "ITR": true, "ITRB": true, "GM": true}
 		registryByName = make(map[string]Algorithm, len(registryAlgos))
 		for i := range registryAlgos {
@@ -292,6 +295,37 @@ func registryList() []Algorithm {
 		}),
 		decAlgo("DEC-ADG", false, false),
 		decAlgo("DEC-ADG-ITR", false, true),
+		// Static speculate-and-repair over the ADG-O order (class 1,
+		// internal/speculate): chunked optimistic greedy, within-chunk
+		// conflict detection, localized JP-over-ADG repair. Unlike
+		// ITR/ITRB/GM it never reads in-flight colors, so it keeps the
+		// strong Las Vegas property.
+		{
+			Name:  "SPEC-ADG",
+			Class: ClassSC,
+			Run: withPoolStats(func(g *graph.Graph, cfg Config) (*RunResult, error) {
+				res := &RunResult{}
+				var sr *speculate.Result
+				var err error
+				total := timed(func() {
+					sr, err = speculate.ColorContext(cfg.ctx(), g, speculate.Options{
+						Procs: cfg.Procs, Seed: cfg.Seed, Epsilon: cfg.Epsilon,
+					})
+				})
+				if err != nil {
+					return nil, err
+				}
+				res.ReorderSeconds = sr.ReorderSeconds
+				res.ColorSeconds = total - sr.ReorderSeconds
+				res.OrderIterations = sr.OrderIterations
+				res.Colors = sr.Colors
+				res.NumColors = sr.NumColors
+				res.Rounds = sr.Rounds
+				res.Conflicts = sr.Conflicts
+				res.EdgesScanned = sr.EdgesScanned
+				return res, nil
+			}),
+		},
 		// MIS family.
 		{
 			Name:  "Luby-MIS",

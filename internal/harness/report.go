@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/kcore"
 )
 
 // AlgoRecordSchemaVersion identifies the AlgoRecord field set. Bump it
@@ -36,6 +37,102 @@ type AlgoRecord struct {
 	// much real parallelism P could buy on the machine that produced the
 	// record.
 	GoMaxProcs int `json:"goMaxProcs"`
+}
+
+// MatrixRecordSchemaVersion identifies the MatrixRecord field set.
+const MatrixRecordSchemaVersion = 1
+
+// MatrixRecord is one cell of the family × algorithm × worker-count
+// benchmark matrix (ROADMAP item 5(b)): one algorithm run on one suite
+// graph at one worker count, with the paper's quality bound evaluated
+// against the measured palette. colorbench -matrix emits a flat list of
+// these; BENCH_PR8.json is the first published sweep.
+type MatrixRecord struct {
+	SchemaVersion  int     `json:"schemaVersion"`
+	Graph          string  `json:"graph"`
+	Vertices       int     `json:"vertices"`
+	Arcs           int64   `json:"arcs"`
+	Name           string  `json:"name"`
+	P              int     `json:"p"`
+	Seconds        float64 `json:"seconds"`
+	ReorderSeconds float64 `json:"reorderSeconds"`
+	Colors         int     `json:"colors"`
+	// Bound is the per-algorithm theoretical palette bound from the
+	// paper (Table III) for this graph; BoundOK records Colors <= Bound.
+	Bound        int   `json:"bound"`
+	BoundOK      bool  `json:"boundOK"`
+	Rounds       int   `json:"rounds"`
+	Conflicts    int64 `json:"conflicts"`
+	EdgesScanned int64 `json:"edgesScanned"`
+	GoMaxProcs   int   `json:"goMaxProcs"`
+}
+
+// MatrixReport runs the full family × algorithm × worker-count sweep
+// over the generated dataset suite (BuildSuite, grown by opts.Scale).
+// algos selects algorithms by name (nil = the whole registry); procs
+// lists the worker counts to sweep (nil = {1, 2, 4}). Every run goes
+// through RunChecked, so an improper coloring fails the sweep rather
+// than producing a record. opts.Trials repetitions are timed per cell
+// and the fastest kept, like JSONReport.
+func MatrixReport(opts Options, algos []string, procs []int) ([]MatrixRecord, error) {
+	opts = opts.withDefaults()
+	selected := Registry()
+	if len(algos) > 0 {
+		selected = selected[:0:0]
+		for _, name := range algos {
+			a, err := Lookup(name)
+			if err != nil {
+				return nil, fmt.Errorf("harness: matrix report: %v", err)
+			}
+			selected = append(selected, a)
+		}
+	}
+	if len(procs) == 0 {
+		procs = []int{1, 2, 4}
+	}
+	suite, err := BuildSuite(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	var out []MatrixRecord
+	for _, bg := range suite {
+		d := kcore.Degeneracy(bg.G)
+		for _, a := range selected {
+			for _, p := range procs {
+				cfg := opts.cfg()
+				cfg.Procs = p
+				var best *RunResult
+				for t := 0; t < opts.Trials; t++ {
+					res, err := RunChecked(a, bg.G, cfg)
+					if err != nil {
+						return nil, fmt.Errorf("harness: matrix report: %s on %s (p=%d): %v", a.Name, bg.Name, p, err)
+					}
+					if best == nil || res.TotalSeconds() < best.TotalSeconds() {
+						best = res
+					}
+				}
+				bound := QualityBound(a.Name, bg.G, d, opts.Epsilon)
+				out = append(out, MatrixRecord{
+					SchemaVersion:  MatrixRecordSchemaVersion,
+					Graph:          bg.Name,
+					Vertices:       bg.G.NumVertices(),
+					Arcs:           bg.G.NumArcs(),
+					Name:           a.Name,
+					P:              p,
+					Seconds:        best.TotalSeconds(),
+					ReorderSeconds: best.ReorderSeconds,
+					Colors:         best.NumColors,
+					Bound:          bound,
+					BoundOK:        best.NumColors <= bound,
+					Rounds:         best.Rounds,
+					Conflicts:      best.Conflicts,
+					EdgesScanned:   best.EdgesScanned,
+					GoMaxProcs:     runtime.GOMAXPROCS(0),
+				})
+			}
+		}
+	}
+	return out, nil
 }
 
 // BenchmarkGraph builds the shared medium Kronecker instance (scale 13,

@@ -53,6 +53,14 @@ const binMagic = "PCCOLOR1"
 // binHeaderSize is the fixed header length in bytes.
 const binHeaderSize = 40
 
+// MaxBinVertices caps the vertex count DecodeColorBin accepts: the
+// same 2^24 bound uploadLimits enforces on every graph this daemon
+// serves, so no legitimate response can carry more colors. Checked in
+// uint64 space before any conversion or allocation — a crafted header
+// with n near 2^30 must not wrap a 32-bit length check or provoke a
+// multi-GB make (see the regression/fuzz tests).
+const MaxBinVertices = 1 << 24
+
 // AlgorithmMaintained selects the maintained dynamic coloring on
 // /v1/color/bin instead of a harness algorithm.
 const AlgorithmMaintained = "maintained"
@@ -124,11 +132,21 @@ func DecodeColorBin(data []byte) (version, seed uint64, eps float64, numColors i
 	version = binary.LittleEndian.Uint64(data[8:])
 	seed = binary.LittleEndian.Uint64(data[16:])
 	eps = math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
-	n := int(binary.LittleEndian.Uint32(data[32:]))
+	n32 := binary.LittleEndian.Uint32(data[32:])
 	numColors = int(binary.LittleEndian.Uint32(data[36:]))
-	if want := binHeaderSize + n*4; len(data) != want {
-		return 0, 0, 0, 0, nil, fmt.Errorf("binary coloring: body %d bytes, header says %d (n=%d)", len(data), want, n)
+	// Validate n in uint64 space BEFORE converting to int or sizing an
+	// allocation: on 32-bit hosts binHeaderSize + int(n)*4 wraps for n
+	// near 2^30, letting a crafted 40-byte header pass a naive length
+	// check and then attempt a multi-GB make. The serving layer never
+	// produces more than MaxBinVertices colors, so anything larger is
+	// rejected outright.
+	if uint64(n32) > MaxBinVertices {
+		return 0, 0, 0, 0, nil, fmt.Errorf("binary coloring: header says n=%d, above the %d vertex cap", n32, MaxBinVertices)
 	}
+	if want := binHeaderSize + 4*uint64(n32); uint64(len(data)) != want {
+		return 0, 0, 0, 0, nil, fmt.Errorf("binary coloring: body %d bytes, header says %d (n=%d)", len(data), want, n32)
+	}
+	n := int(n32)
 	colors = make([]uint32, n)
 	for i := range colors {
 		colors[i] = binary.LittleEndian.Uint32(data[binHeaderSize+i*4:])
@@ -162,16 +180,19 @@ func parseColorBinQuery(q url.Values) (ColorRequest, error) {
 		req.Epsilon = eps
 	}
 	if v := q.Get("procs"); v != "" {
+		// Atoi alone would admit negatives, deferring to whatever the
+		// downstream worker-count clamp happens to do; reject at parse
+		// time like every other malformed parameter.
 		procs, err := strconv.Atoi(v)
-		if err != nil {
-			return req, fmt.Errorf("%w: procs: %v", ErrBadRequest, err)
+		if err != nil || procs < 0 {
+			return req, fmt.Errorf("%w: procs: %q is not a non-negative integer", ErrBadRequest, v)
 		}
 		req.Procs = procs
 	}
 	if v := q.Get("timeoutMillis"); v != "" {
 		ms, err := strconv.Atoi(v)
-		if err != nil {
-			return req, fmt.Errorf("%w: timeoutMillis: %v", ErrBadRequest, err)
+		if err != nil || ms < 0 {
+			return req, fmt.Errorf("%w: timeoutMillis: %q is not a non-negative integer", ErrBadRequest, v)
 		}
 		req.TimeoutMillis = ms
 	}
@@ -231,9 +252,11 @@ func (s *Server) serveMaintainedBin(w http.ResponseWriter, req ColorRequest) {
 	}
 	version := entry.Version()
 	if s.st != nil {
-		if colors, snapVersion, ok := s.st.SnapshotColors(req.Graph); ok && snapVersion == version {
+		// numColors is memoized on the snapshot — no per-request O(n)
+		// palette scan undercutting the zero-copy read.
+		if colors, numColors, snapVersion, ok := s.st.SnapshotColors(req.Graph); ok && snapVersion == version {
 			s.setCacheHint(w, req, true)
-			writeColorBin(w, version, mutateOptions.Seed, mutateOptions.Epsilon, distinctColors(colors), colors)
+			writeColorBin(w, version, mutateOptions.Seed, mutateOptions.Epsilon, numColors, colors)
 			return
 		}
 	}
@@ -244,14 +267,4 @@ func (s *Server) serveMaintainedBin(w http.ResponseWriter, req ColorRequest) {
 	}
 	s.colorErrors.Add(1)
 	writeError(w, fmt.Errorf("%w: graph %q has no maintained coloring yet (mutate it, or request an algorithm)", ErrNotFound, req.Graph))
-}
-
-// distinctColors counts the distinct values in colors (the snapshot
-// stores the palette, not its size).
-func distinctColors(colors []uint32) int {
-	seen := make(map[uint32]struct{}, 64)
-	for _, c := range colors {
-		seen[c] = struct{}{}
-	}
-	return len(seen)
 }

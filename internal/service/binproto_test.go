@@ -1,0 +1,98 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestDecodeColorBinOverflowHeader is the regression test for the
+// length-check integer overflow: a 40-byte body whose header claims
+// n near 2^30 made binHeaderSize + n*4 wrap on 32-bit hosts, passing
+// validation and then attempting a multi-GB allocation. The decoder
+// must reject it from the header alone.
+func TestDecodeColorBinOverflowHeader(t *testing.T) {
+	for _, n := range []uint32{1 << 30, (1<<32 - binHeaderSize) / 4, 1<<32 - 1, MaxBinVertices + 1} {
+		body := binHeader(1, 2, 0.01, 0, 0)
+		binary.LittleEndian.PutUint32(body[32:], n)
+		if _, _, _, _, colors, err := DecodeColorBin(body); err == nil || colors != nil {
+			t.Errorf("n=%d: decoded without error (colors %v)", n, colors)
+		}
+	}
+}
+
+// TestDecodeColorBinAcceptsCapBoundary: the cap itself is legal — only
+// the body length check may reject it (we don't build a 64 MB body
+// here, so expect the length error, not the cap error).
+func TestDecodeColorBinAcceptsCapBoundary(t *testing.T) {
+	body := binHeader(1, 2, 0.01, 0, 0)
+	binary.LittleEndian.PutUint32(body[32:], MaxBinVertices)
+	_, _, _, _, _, err := DecodeColorBin(body)
+	if err == nil {
+		t.Fatal("40-byte body with n at the cap decoded without error")
+	}
+	if want := "body 40 bytes"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention the body length (want %q): cap check fired on a legal n", err, want)
+	}
+}
+
+// TestParseColorBinQueryRejectsNegatives is the regression test for
+// raw Atoi admitting negative procs/timeoutMillis.
+func TestParseColorBinQueryRejectsNegatives(t *testing.T) {
+	for _, q := range []string{
+		"graph=g&algorithm=a&procs=-1",
+		"graph=g&algorithm=a&procs=-999999",
+		"graph=g&algorithm=a&timeoutMillis=-1",
+		"graph=g&algorithm=a&timeoutMillis=-5000",
+	} {
+		vals, err := url.ParseQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseColorBinQuery(vals); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("query %q: err = %v, want ErrBadRequest", q, err)
+		}
+	}
+	// Zero and positive stay accepted (0 = defaults downstream).
+	vals, _ := url.ParseQuery("graph=g&algorithm=a&procs=0&timeoutMillis=0")
+	if _, err := parseColorBinQuery(vals); err != nil {
+		t.Fatalf("zero values rejected: %v", err)
+	}
+	vals, _ = url.ParseQuery("graph=g&algorithm=a&procs=4&timeoutMillis=1500")
+	req, err := parseColorBinQuery(vals)
+	if err != nil || req.Procs != 4 || req.TimeoutMillis != 1500 {
+		t.Fatalf("positive values mangled: %+v err=%v", req, err)
+	}
+}
+
+// FuzzDecodeColorBin hammers the client-side decoder with arbitrary
+// bodies: it must reject or decode, never panic or over-allocate. The
+// seed corpus includes the crafted overflow header from the 32-bit
+// length-check bug.
+func FuzzDecodeColorBin(f *testing.F) {
+	good := append(binHeader(3, 7, 0.01, 2, 2), colorsLEBytes([]uint32{1, 2})...)
+	f.Add(good)
+	overflow := binHeader(1, 2, 0.5, 0, 1)
+	binary.LittleEndian.PutUint32(overflow[32:], 1<<30) // wraps a 32-bit length check
+	f.Add(overflow)
+	f.Add([]byte(binMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		version, seed, eps, numColors, colors, err := DecodeColorBin(data)
+		if err != nil {
+			if colors != nil {
+				t.Fatal("error with non-nil colors")
+			}
+			return
+		}
+		if len(colors) > MaxBinVertices {
+			t.Fatalf("decoded %d colors above the cap", len(colors))
+		}
+		// A successful decode must re-encode to the identical body.
+		re := append(binHeader(version, seed, eps, len(colors), numColors), colorsLEBytes(colors)...)
+		if string(re) != string(data) {
+			t.Fatal("decode/encode round trip changed the body")
+		}
+	})
+}

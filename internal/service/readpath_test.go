@@ -290,7 +290,7 @@ func TestColorBinMaintainedServesDynamicThenSnapshot(t *testing.T) {
 	if err := verify.CheckProper(gv, colors); err != nil {
 		t.Fatalf("maintained coloring improper: %v", err)
 	}
-	if d := distinctColors(colors); d != numColors {
+	if d := verify.NumColors(colors); d != numColors {
 		t.Fatalf("header numColors %d but %d distinct values", numColors, d)
 	}
 
@@ -299,8 +299,10 @@ func TestColorBinMaintainedServesDynamicThenSnapshot(t *testing.T) {
 	if resp, body := postJSON(t, ts.URL+"/v1/admin/compact", adminCompactRequest{Graph: "maint"}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("compact: %d %s", resp.StatusCode, body)
 	}
-	if _, snapVer, ok := st.SnapshotColors("maint"); !ok || snapVer != 1 {
+	if _, snapNC, snapVer, ok := st.SnapshotColors("maint"); !ok || snapVer != 1 {
 		t.Fatalf("snapshot colors at version %d ok=%v after compact, want 1 true", snapVer, ok)
+	} else if snapNC != numColors {
+		t.Fatalf("snapshot cached numColors %d, dynamic header says %d", snapNC, numColors)
 	}
 	version2, numColors2, colors2 := fetch()
 	if version2 != version || numColors2 != numColors || len(colors2) != len(colors) {

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"unsafe"
 
 	"repro/internal/faultinject"
@@ -75,6 +76,28 @@ type Snapshot struct {
 
 	data   []byte // backing buffer (heap or mmap)
 	mapped bool
+
+	// numColors memoizes NumColors: a snapshot is immutable after
+	// adoption, so the distinct-color count is computed at most once
+	// per snapshot instead of once per read request (the binary read
+	// path used to rescan all n colors on every
+	// /v1/color/bin?algorithm=maintained snapshot hit).
+	numColorsOnce sync.Once
+	numColors     int
+}
+
+// NumColors returns the distinct color count of the embedded coloring
+// (0 when the snapshot carries none), computed lazily once and then
+// served as cheaply as the zero-copy Colors view itself.
+func (s *Snapshot) NumColors() int {
+	s.numColorsOnce.Do(func() {
+		seen := make(map[uint32]struct{}, 64)
+		for _, c := range s.Colors {
+			seen[c] = struct{}{}
+		}
+		s.numColors = len(seen)
+	})
+	return s.numColors
 }
 
 // Close releases the backing mapping. The Graph and Colors views must

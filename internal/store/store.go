@@ -327,27 +327,29 @@ func (s *Store) SnapshotBytes(name string) ([]byte, uint64, error) {
 }
 
 // SnapshotColors returns the maintained coloring embedded in name's
-// live snapshot, zero-copy, together with the graph version the
-// snapshot captures. The slice aliases the mmapped file — served
-// straight from the page cache, no decode, no allocation — and stays
-// valid for the life of the process: superseded mappings are retired
-// on compaction, never unmapped, exactly so outstanding readers cannot
-// be invalidated (see Commit). ok is false when the graph has no
+// live snapshot, zero-copy, together with its distinct color count and
+// the graph version the snapshot captures. The slice aliases the
+// mmapped file — served straight from the page cache, no decode, no
+// allocation — and stays valid for the life of the process: superseded
+// mappings are retired on compaction, never unmapped, exactly so
+// outstanding readers cannot be invalidated (see Commit). The count is
+// memoized on the snapshot (Snapshot.NumColors), so serving it here
+// costs nothing per request. ok is false when the graph has no
 // snapshot, or its snapshot embeds no coloring. Callers that need the
 // CURRENT coloring must compare the returned version against the
 // live graph version themselves: the snapshot legitimately lags the
 // WAL by the batches applied since the last fold.
-func (s *Store) SnapshotColors(name string) ([]uint32, uint64, bool) {
+func (s *Store) SnapshotColors(name string) (colors []uint32, numColors int, version uint64, ok bool) {
 	gs, err := s.lookup(name)
 	if err != nil {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	gs.mu.Lock()
 	defer gs.mu.Unlock()
 	if gs.snap == nil || len(gs.snap.Colors) == 0 {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
-	return gs.snap.Colors, gs.snap.GraphVersion, true
+	return gs.snap.Colors, gs.snap.NumColors(), gs.snap.GraphVersion, true
 }
 
 // FoldState reports name's durable fold state: the graph version its

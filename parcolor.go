@@ -84,9 +84,13 @@ const (
 	GM        = "GM"
 	DECADG    = "DEC-ADG"
 	DECADGITR = "DEC-ADG-ITR"
-	LubyMIS   = "Luby-MIS"
-	GreedyID  = "Greedy-ID"
-	GreedySD  = "Greedy-SD"
+	// SPECADG is the deterministic speculate-and-repair engine: chunked
+	// optimistic greedy over the ADG-O order, within-chunk conflict
+	// detection, localized JP-over-ADG repair (internal/speculate).
+	SPECADG  = "SPEC-ADG"
+	LubyMIS  = "Luby-MIS"
+	GreedyID = "Greedy-ID"
+	GreedySD = "Greedy-SD"
 )
 
 // Algorithms lists every available algorithm name.
