@@ -20,7 +20,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/par/... ./internal/jp/... ./internal/speculate/... ./internal/service/... ./internal/cluster/... ./internal/faultinject/... ./internal/retry/...
+	go test -race ./internal/par/... ./internal/jp/... ./internal/speculate/... ./internal/service/... ./internal/cluster/... ./internal/faultinject/... ./internal/retry/... ./internal/obs/...
 
 bench:
 	go test -run '^$$' -bench 'BenchmarkTable2Orderings|BenchmarkJP' -benchtime 3x .
@@ -78,7 +78,7 @@ fuzz-smoke:
 
 # cover enforces the >= 80% statement-coverage floor on the core
 # packages (graph, jp, order, spec, verify, dynamic, store, cluster,
-# faultinject, retry) and leaves
+# faultinject, retry, gen, speculate, obs) and leaves
 # the merged profile in coverage.out (uploaded as a CI artifact).
 cover:
 	./scripts/coverage.sh

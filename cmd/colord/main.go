@@ -143,13 +143,40 @@
 //
 //	colord ... -fault-injection \
 //	       -faults 'point=wal.fsync,mode=fail,after=2,count=1'
+//
+// # Observability
+//
+// /metrics content-negotiates: the default JSON document is unchanged,
+// and Prometheus text exposition format (histograms included) is
+// served when the client asks for it:
+//
+//	curl -s localhost:8712/metrics?format=prom
+//	curl -s -H 'Accept: text/plain' localhost:8712/metrics
+//
+// Every request is stamped with an X-Colord-Request-Id header
+// (client-supplied IDs are honored and propagated across proxy hops
+// and replication RPCs); the last N completed requests with their
+// per-phase spans are inspectable via:
+//
+//	curl -s 'localhost:8712/v1/debug/trace?last=20'
+//	curl -s 'localhost:8712/v1/debug/trace?id=<request-id>'
+//
+// -log-format json enables structured per-request logging (sampled
+// with -log-sample N: every Nth request; 5xx responses always log).
+// -debug-addr exposes net/http/pprof and /debug/vars on a SEPARATE
+// listener — bind it to localhost only, it is unauthenticated:
+//
+//	colord -addr :8712 -debug-addr 127.0.0.1:6060 -log-format json
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -184,6 +211,10 @@ func main() {
 
 		faultGate = flag.Bool("fault-injection", false, "enable the deterministic fault-injection surface (POST /v1/admin/faults and the -faults flag); never enable in production")
 		faultSpec = flag.String("faults", "", "fault schedule to arm at startup (requires -fault-injection); also read from COLORD_FAULTS when the flag is empty")
+
+		debugAddr = flag.String("debug-addr", "", "listen address for the unauthenticated pprof + expvar debug server (empty: disabled); bind to localhost only")
+		logFormat = flag.String("log-format", "", "structured per-request logging: json or text (empty: off)")
+		logSample = flag.Int64("log-sample", 1, "log every Nth request (5xx responses always log; <=0 logs only 5xx)")
 	)
 	flag.Parse()
 
@@ -192,6 +223,35 @@ func main() {
 		CacheEntries:   *cacheN,
 		DefaultTimeout: *timeout,
 	})
+	switch *logFormat {
+	case "":
+	case "json":
+		srv.SetRequestLog(slog.New(slog.NewJSONHandler(os.Stderr, nil)), *logSample)
+	case "text":
+		srv.SetRequestLog(slog.New(slog.NewTextHandler(os.Stderr, nil)), *logSample)
+	default:
+		fmt.Fprintf(os.Stderr, "colord: -log-format %q: want json or text\n", *logFormat)
+		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		// The debug server is its own listener and mux: pprof and expvar
+		// never mount on the service handler, so enabling them cannot
+		// leak profiles through the public API port.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "colord: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("colord: debug server (pprof, expvar) on %s\n", *debugAddr)
+	}
 	if spec := *faultSpec; *faultGate {
 		srv.EnableFaultAdmin()
 		if spec == "" {

@@ -65,6 +65,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"os"
@@ -77,6 +78,7 @@ import (
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/verify"
 	"repro/internal/xrand"
@@ -303,6 +305,35 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	}
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i]
+}
+
+// scrapeMetrics fetches /metrics once, returning both the decoded
+// document and the raw JSON body (for -metrics-out).
+func scrapeMetrics(cl *client) (*service.Metrics, []byte, error) {
+	r, err := cl.http.Get(cl.endpoints[0] + "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	var m service.Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, body, err
+	}
+	return &m, body, nil
+}
+
+// quantileDur renders one server histogram quantile as a duration
+// ("-" when the histogram recorded nothing over this run).
+func quantileDur(s obs.HistogramSnapshot, q float64) string {
+	v := s.Quantile(q)
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 // mutator owns the replayed mutation log: it serializes mutate
@@ -553,6 +584,7 @@ func main() {
 		tolReq  = flag.Bool("tolerate-request-errors", false, "exit 0 when the only failures are transport errors (server killed mid-run); verification failures still fail")
 		reqTO   = flag.Duration("request-timeout", 120*time.Second, "per-request HTTP timeout (lower it when exercising fault injection so stalled requests fail fast)")
 		binMode = flag.Bool("binary", false, "fetch colorings via GET /v1/color/bin (binary read protocol); the first response per key is cross-checked against POST /v1/color for byte-identical colors")
+		metOut  = flag.String("metrics-out", "", "write the post-run /metrics JSON document to this file")
 	)
 	flag.Parse()
 	algoList := strings.Split(*algos, ",")
@@ -784,6 +816,11 @@ func main() {
 		return "", nil
 	}
 
+	// Baseline /metrics scrape: the post-run server histograms are
+	// diffed against this so the reported server-side percentiles cover
+	// exactly this run, not whatever traffic the daemon served before.
+	baseline, _, _ := scrapeMetrics(cl)
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *clients; w++ {
@@ -935,16 +972,41 @@ func main() {
 		percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99), percentile(lats, 1.0))
 	fmt.Printf("colorload: client-observed cache hits %d, coalesced %d\n", cachedHit.Load(), coalesced.Load())
 
-	// Server-side view.
-	mresp, err := cl.http.Get(cl.endpoints[0] + "/metrics")
-	if err == nil {
-		defer mresp.Body.Close()
-		var m service.Metrics
-		if json.NewDecoder(mresp.Body).Decode(&m) == nil {
-			fmt.Printf("colorload: server cache hit rate %.1f%% (%d hits / %d misses, %d entries, %d invalidated), inflight max %d, pool forks %d dispatches %d\n",
-				100*m.CacheHitRate, m.Cache.Hits, m.Cache.Misses, m.Cache.Entries, m.CacheInvalidations,
-				m.Jobs.MaxInflight, m.Pool.Forks, m.Pool.Dispatches)
+	// Server-side view: a second /metrics scrape, diffed against the
+	// pre-run baseline so the printed histograms cover exactly this run.
+	after, rawMetrics, merr := scrapeMetrics(cl)
+	if merr == nil {
+		m := after
+		fmt.Printf("colorload: server cache hit rate %.1f%% (%d hits / %d misses, %d entries, %d invalidated), inflight max %d, pool forks %d dispatches %d\n",
+			100*m.CacheHitRate, m.Cache.Hits, m.Cache.Misses, m.Cache.Entries, m.CacheInvalidations,
+			m.Jobs.MaxInflight, m.Pool.Forks, m.Pool.Dispatches)
+		eps := make([]string, 0, len(m.HTTPLatency))
+		for ep := range m.HTTPLatency {
+			eps = append(eps, ep)
 		}
+		sort.Strings(eps)
+		for _, ep := range eps {
+			snap := m.HTTPLatency[ep]
+			if baseline != nil {
+				snap = snap.Sub(baseline.HTTPLatency[ep])
+			}
+			if snap.Count == 0 {
+				continue
+			}
+			fmt.Printf("colorload: server %-24s %6d reqs  p50 %v  p95 %v  p99 %v\n",
+				ep, snap.Count, quantileDur(snap, 0.50), quantileDur(snap, 0.95), quantileDur(snap, 0.99))
+		}
+	}
+	if *metOut != "" {
+		if rawMetrics == nil {
+			fmt.Fprintf(os.Stderr, "colorload: -metrics-out: scraping /metrics: %v\n", merr)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metOut, rawMetrics, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "colorload: -metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("colorload: wrote server metrics to %s\n", *metOut)
 	}
 
 	if verErrs.Load() > 0 || (reqErrs.Load() > 0 && !*tolReq) {

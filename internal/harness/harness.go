@@ -75,6 +75,25 @@ type RunResult struct {
 	Forks         int64 // fork-join regions that actually forked
 	Dispatches    int64 // blocks handed to parked pool workers
 	SeqCutoffHits int64 // regions run inline below the sequential grain
+	// Phases names the run's internal phase timings (order/color for
+	// the JP family, decompose/color for DEC, speculate/repair/fallback
+	// for SPEC-ADG). The serving layer exports them per algorithm as
+	// latency histograms and attaches them to request traces.
+	Phases []PhaseTiming
+}
+
+// PhaseTiming is one named engine phase of a run.
+type PhaseTiming struct {
+	Name    string
+	Seconds float64
+}
+
+// addPhase appends a phase timing, skipping zero-duration phases that
+// never ran (e.g. SPEC-ADG's fallback on a clean run).
+func (r *RunResult) addPhase(name string, seconds float64) {
+	if seconds > 0 {
+		r.Phases = append(r.Phases, PhaseTiming{Name: name, Seconds: seconds})
+	}
 }
 
 // TotalSeconds is the full runtime.
@@ -146,6 +165,8 @@ func jpAlgo(name string, mkOrder func(g *graph.Graph, cfg Config) (*order.Orderi
 			res.Rounds = jr.Rounds
 			res.EdgesScanned = jr.EdgesScanned
 			res.AtomicOps = jr.AtomicOps
+			res.addPhase("order", res.ReorderSeconds)
+			res.addPhase("color", res.ColorSeconds)
 			return res, nil
 		}),
 	}
@@ -171,6 +192,7 @@ func specAlgo(name string, run func(g *graph.Graph, cfg Config) *spec.Result) Al
 			res.Rounds = sr.Rounds
 			res.Conflicts = sr.Conflicts
 			res.EdgesScanned = sr.EdgesScanned
+			res.addPhase("color", res.ColorSeconds)
 			return res, nil
 		}),
 	}
@@ -201,6 +223,8 @@ func decAlgo(name string, median, itrRule bool) Algorithm {
 			res.Rounds = sr.Rounds
 			res.Conflicts = sr.Conflicts
 			res.EdgesScanned = sr.EdgesScanned
+			res.addPhase("decompose", res.ReorderSeconds)
+			res.addPhase("color", res.ColorSeconds)
 			return res, nil
 		}),
 	}
@@ -219,6 +243,7 @@ func seqAlgo(name string, run func(g *graph.Graph, cfg Config) *greedy.Result) A
 			res.ColorSeconds = timed(func() { gr = run(g, cfg) })
 			res.Colors = gr.Colors
 			res.NumColors = gr.NumColors
+			res.addPhase("color", res.ColorSeconds)
 			return res, nil
 		}),
 	}
@@ -323,6 +348,10 @@ func registryList() []Algorithm {
 				res.Rounds = sr.Rounds
 				res.Conflicts = sr.Conflicts
 				res.EdgesScanned = sr.EdgesScanned
+				res.addPhase("order", sr.ReorderSeconds)
+				res.addPhase("speculate", sr.SpecSeconds)
+				res.addPhase("repair", sr.RepairSeconds)
+				res.addPhase("fallback", sr.FallbackSeconds)
 				return res, nil
 			}),
 		},
@@ -340,6 +369,7 @@ func registryList() []Algorithm {
 				res.Colors = mr.Colors
 				res.NumColors = mr.NumColors
 				res.Rounds = mr.Rounds
+				res.addPhase("color", res.ColorSeconds)
 				return res, nil
 			}),
 		},

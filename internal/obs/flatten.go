@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// WritePromFromJSON flattens doc (anything JSON-marshalable — in
+// colord, the /metrics Metrics struct) into Prometheus gauge lines:
+// every numeric leaf becomes `<prefix>_<snake_case_path> <value>`.
+// Strings, booleans and arrays are skipped; nested objects extend the
+// metric name. This keeps the Prometheus view automatically in sync
+// with the JSON view — a field added to Metrics shows up in scrapes
+// with no extra wiring, and the exposition lint test walks the same
+// flattening, so a renamed field cannot silently vanish.
+func WritePromFromJSON(w io.Writer, prefix string, doc any) error {
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return err
+	}
+	lines := map[string]float64{}
+	flattenJSON(prefix, tree, lines)
+	names := make([]string, 0, len(lines))
+	for n := range lines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(lines[n]))
+	}
+	return nil
+}
+
+// FlattenJSONNames returns the metric names WritePromFromJSON would
+// emit for doc — the exposition lint test asserts each one appears in
+// the scrape.
+func FlattenJSONNames(prefix string, doc any) ([]string, error) {
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return nil, err
+	}
+	lines := map[string]float64{}
+	flattenJSON(prefix, tree, lines)
+	names := make([]string, 0, len(lines))
+	for n := range lines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func flattenJSON(prefix string, node map[string]any, out map[string]float64) {
+	for k, v := range node {
+		name := prefix + "_" + sanitizeName(snakeCase(k))
+		switch t := v.(type) {
+		case float64:
+			out[name] = t
+		case bool:
+			if t {
+				out[name] = 1
+			} else {
+				out[name] = 0
+			}
+		case map[string]any:
+			flattenJSON(name, t, out)
+		}
+	}
+}
+
+// snakeCase converts camelCase to snake_case: uptimeSeconds →
+// uptime_seconds, goMaxProcs → go_max_procs.
+func snakeCase(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// sanitizeName maps any character outside [a-zA-Z0-9_] to '_' so
+// arbitrary JSON keys (graph names, label-ish map keys) form legal
+// Prometheus metric names.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

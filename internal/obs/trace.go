@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader carries the correlation ID across every cluster
+// hop: client → entry node → proxy target, key-home redirects, and
+// replication RPCs all forward it unchanged, so one slow request can
+// be found in the span ring and logs of every node that touched it.
+const RequestIDHeader = "X-Colord-Request-Id"
+
+// idPrefix is a per-process random prefix; the counter suffix makes
+// IDs unique within the process without a syscall per request.
+var (
+	idPrefix = func() string {
+		var b [6]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			// Degrade to a time-based prefix; uniqueness within the
+			// process still holds via the counter.
+			return fmt.Sprintf("%012x", time.Now().UnixNano()&0xffffffffffff)
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	idCounter atomic.Uint64
+)
+
+// NewRequestID returns a new correlation ID: 12 hex chars of
+// per-process randomness plus a monotone counter.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06x", idPrefix, idCounter.Add(1))
+}
+
+// Span is one named timed phase inside a request.
+type Span struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Trace is the record of one served request: identity, outcome, and
+// the phase spans collected while it ran.
+type Trace struct {
+	RequestID string    `json:"requestId"`
+	Node      string    `json:"node,omitempty"`
+	Method    string    `json:"method"`
+	Endpoint  string    `json:"endpoint"`
+	Status    int       `json:"status"`
+	Start     time.Time `json:"start"`
+	Seconds   float64   `json:"seconds"`
+	Spans     []Span    `json:"spans,omitempty"`
+}
+
+// TraceContext accumulates spans for one in-flight request. It rides
+// the request context; any layer (job manager, proxy, replicator,
+// engine harness) appends spans without knowing who is listening.
+// Nil-safe: spans recorded against a nil carrier vanish.
+type TraceContext struct {
+	RequestID string
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// AddSpan appends a named duration. Safe concurrently and on nil.
+func (tc *TraceContext) AddSpan(name string, seconds float64) {
+	if tc == nil {
+		return
+	}
+	tc.mu.Lock()
+	tc.spans = append(tc.spans, Span{Name: name, Seconds: seconds})
+	tc.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans.
+func (tc *TraceContext) Spans() []Span {
+	if tc == nil {
+		return nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return append([]Span(nil), tc.spans...)
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace carrier to ctx.
+func WithTrace(ctx context.Context, tc *TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom returns the request's trace carrier, or nil.
+func TraceFrom(ctx context.Context) *TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(*TraceContext)
+	return tc
+}
+
+// RequestIDFrom returns the correlation ID riding ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	if tc := TraceFrom(ctx); tc != nil {
+		return tc.RequestID
+	}
+	return ""
+}
+
+// Ring is a bounded buffer of completed request traces, newest
+// overwriting oldest. It backs /v1/debug/trace. Nil-safe.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next int
+	full bool
+}
+
+// DefaultRingSize bounds the per-node trace memory (~a few hundred KB
+// at typical span counts).
+const DefaultRingSize = 256
+
+// NewRing builds a ring holding the last n traces (n <= 0 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]Trace, n)}
+}
+
+// Add records a completed trace.
+func (r *Ring) Add(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Last returns up to n traces, newest first.
+func (r *Ring) Last(n int) []Trace {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Find returns every ringed trace with the given request ID, newest
+// first (a request can appear once per node hop it made).
+func (r *Ring) Find(requestID string) []Trace {
+	if r == nil {
+		return nil
+	}
+	var out []Trace
+	for _, t := range r.Last(len(r.buf)) {
+		if t.RequestID == requestID {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dynamic"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/retry"
 )
 
@@ -186,6 +187,9 @@ func (s *Server) AttachCluster(c *cluster.Cluster, opts ClusterOptions) {
 		pipeWindow:   window,
 		leaseExp:     make(map[string]time.Time),
 	}
+	// Traces and request logs identify this process by its cluster URL
+	// (more useful than the hostname shared by co-located test nodes).
+	s.node = c.Self()
 }
 
 // Cluster returns the attached cluster view (nil when single-node).
@@ -366,7 +370,17 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request, graph, target str
 			req.Header.Set("Content-Type", ct)
 		}
 		req.Header.Set(forwardedHeader, s.cl.c.Self())
+		// Propagate the correlation ID (the middleware stashed a
+		// generated one on the inbound headers) so the hop shows up in
+		// the target's span ring and logs under the same request ID.
+		if reqID := r.Header.Get(obs.RequestIDHeader); reqID != "" {
+			req.Header.Set(obs.RequestIDHeader, reqID)
+		}
+		hopStart := time.Now()
 		resp, err := s.cl.proxyClient.Do(req)
+		hop := time.Since(hopStart)
+		s.met.proxyRTT.With(target).Observe(hop)
+		obs.TraceFrom(ctx).AddSpan("proxy/"+target, hop.Seconds())
 		if err != nil {
 			s.cl.c.ReportFailure(target, err)
 			lastErr = err
@@ -461,8 +475,9 @@ func decodeWireBatch(b64 string) (dynamic.Batch, error) {
 // instead of R sequential ones while keeping the ack contract intact.
 // Down replicas are skipped (they pull the tail on rejoin); failed or
 // diverged replicas are recorded and skipped by the watermark.
-// Returns how many replicas acked this version.
-func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch) int {
+// reqID is the originating request's correlation ID, forwarded on
+// every replication RPC. Returns how many replicas acked this version.
+func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch, reqID string) int {
 	c := s.cl.c
 	enc := b.AppendBinary(make([]byte, 0, 64))
 	payload, err := json.Marshal(replicateRequest{
@@ -488,7 +503,7 @@ func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch) 
 		if peer == c.Self() || !c.Alive(peer) {
 			continue
 		}
-		sent = append(sent, pending{peer: peer, send: s.pipeFor(e.Name, peer).enqueue(version, payload)})
+		sent = append(sent, pending{peer: peer, send: s.pipeFor(e.Name, peer).enqueue(version, payload, reqID)})
 	}
 	acked := 0
 	for _, pd := range sent {
@@ -549,12 +564,22 @@ func (s *Server) replicateBatch(e *GraphEntry, version uint64, b dynamic.Batch) 
 // re-POSTing a record the replica already applied is acked harmlessly,
 // and a retry that lands after the replica finished its catch-up turns
 // a would-be replication error into a clean ack.
-func (s *Server) postReplicate(peer string, payload []byte) (replicateResponse, int, error) {
+func (s *Server) postReplicate(peer string, payload []byte, reqID string) (replicateResponse, int, error) {
 	var ack replicateResponse
 	var status int
 	err := internalRetry.Do(context.Background(), func(context.Context) error {
 		ack, status = replicateResponse{}, 0
-		resp, err := s.cl.replClient.Post(peer+"/v1/internal/replicate", "application/json", bytes.NewReader(payload))
+		req, rerr := http.NewRequest(http.MethodPost, peer+"/v1/internal/replicate", bytes.NewReader(payload))
+		if rerr != nil {
+			return retry.Permanent(rerr)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if reqID != "" {
+			req.Header.Set(obs.RequestIDHeader, reqID)
+		}
+		rtStart := time.Now()
+		resp, err := s.cl.replClient.Do(req)
+		s.met.replRTT.With(peer).Observe(time.Since(rtStart))
 		if err != nil {
 			return err
 		}
@@ -1088,7 +1113,7 @@ func (s *Server) ensureSynced(e *GraphEntry) error {
 // bootstraps lazily from the spec at first replication (spec-built
 // graphs) or waits for snapshot shipping (uploads, ROADMAP); failures
 // are gauged, never fail the client's registration.
-func (s *Server) fanoutRegistration(name string, body []byte) {
+func (s *Server) fanoutRegistration(name string, body []byte, reqID string) {
 	c := s.cl.c
 	for _, peer := range c.Placement(name) {
 		if peer == c.Self() || !c.Alive(peer) {
@@ -1110,6 +1135,9 @@ func (s *Server) fanoutRegistration(name string, body []byte) {
 			}
 			req.Header.Set("Content-Type", "application/json")
 			req.Header.Set(replicatedHeader, c.Self())
+			if reqID != "" {
+				req.Header.Set(obs.RequestIDHeader, reqID)
+			}
 			resp, err := s.cl.replClient.Do(req)
 			if err != nil {
 				return err

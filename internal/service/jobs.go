@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // ManagerConfig parameterizes a Manager.
@@ -114,6 +115,10 @@ type Manager struct {
 	sfMu sync.Mutex
 	sf   map[Key]*flight
 
+	// met is set by NewServer; a Manager built directly (tests) has
+	// none, and every observation below is nil-safe.
+	met *serverMetrics
+
 	completed atomic.Int64
 	cancelled atomic.Int64
 	failed    atomic.Int64
@@ -144,13 +149,25 @@ func (m *Manager) Cache() *Cache { return m.cache }
 // pool-bound compute like any /v1/color job, and must not be able to
 // oversubscribe the machine just by arriving on a different endpoint.
 func (m *Manager) acquireSlot(ctx context.Context) error {
+	queued := time.Now()
 	select {
 	case m.sem <- struct{}{}:
+		m.observeQueueWait(ctx, queued)
 		return nil
 	case <-ctx.Done():
 		m.cancelled.Add(1)
 		return fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
 	}
+}
+
+// observeQueueWait records time spent queued for an inflight slot,
+// both in the histogram and as a span on the request trace.
+func (m *Manager) observeQueueWait(ctx context.Context, queued time.Time) {
+	wait := time.Since(queued)
+	if m.met != nil {
+		m.met.jobQueueWait.Observe(wait)
+	}
+	obs.TraceFrom(ctx).AddSpan("queue-wait", wait.Seconds())
 }
 
 func (m *Manager) releaseSlot() { <-m.sem }
@@ -275,6 +292,7 @@ func (m *Manager) Color(ctx context.Context, req ColorRequest) (*ColorResponse, 
 			m.sfMu.Unlock()
 		}
 		if !leader {
+			joined := time.Now()
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -283,6 +301,11 @@ func (m *Manager) Color(ctx context.Context, req ColorRequest) (*ColorResponse, 
 			}
 			if f.err == nil {
 				m.coalesced.Add(1)
+				wait := time.Since(joined)
+				if m.met != nil {
+					m.met.sfWait.Observe(wait)
+				}
+				obs.TraceFrom(ctx).AddSpan("singleflight-wait", wait.Seconds())
 				return resp(f.entry, false, true), nil
 			}
 			// The leader failed (typically its own deadline). Loop and
@@ -380,8 +403,10 @@ func (m *Manager) lead(ctx context.Context, algo harness.Algorithm, g *graph.Gra
 	}()
 
 	// Acquire an inflight slot; queued requests stay cancellable.
+	queued := time.Now()
 	select {
 	case m.sem <- struct{}{}:
+		m.observeQueueWait(ctx, queued)
 	case <-ctx.Done():
 		err := fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
 		finish(nil, err)
@@ -412,11 +437,17 @@ func (m *Manager) lead(ctx context.Context, algo harness.Algorithm, g *graph.Gra
 		finish(nil, err)
 		return nil, err
 	}
+	run := time.Since(start)
+	if m.met != nil {
+		m.met.jobRun.With(algo.Name).Observe(run)
+		m.met.observePhases(obs.TraceFrom(ctx), algo.Name, res.Phases)
+	}
+	obs.TraceFrom(ctx).AddSpan("run/"+algo.Name, run.Seconds())
 	e := &Entry{
 		Colors:         res.Colors,
 		NumColors:      res.NumColors,
 		Rounds:         res.Rounds,
-		ComputeSeconds: time.Since(start).Seconds(),
+		ComputeSeconds: run.Seconds(),
 	}
 	if !req.NoCache {
 		m.cache.Put(key, e)

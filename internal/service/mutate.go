@@ -11,6 +11,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/faultinject"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // maxMutateBodyBytes bounds a mutate POST body; maxMutateVertices and
@@ -277,9 +278,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 	// count of synchronous acks lands in the response.
 	replicated := 0
 	var replicate func(uint64, dynamic.Batch)
+	tc := obs.TraceFrom(r.Context())
 	if s.cl != nil {
+		reqID := r.Header.Get(obs.RequestIDHeader)
 		replicate = func(version uint64, b dynamic.Batch) {
-			replicated = s.replicateBatch(entry, version, b)
+			replStart := time.Now()
+			replicated = s.replicateBatch(entry, version, b, reqID)
+			tc.AddSpan("replicate", time.Since(replStart).Seconds())
 		}
 	}
 	out, err := entry.Mutate(batch, req.IncludeColors, s.persistBatch(entry), replicate)
@@ -288,6 +293,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 		return
 	}
 	res := out.Res
+	// Observe the repair's shape: wall time and the dirty fraction (how
+	// local the localized repair actually was for this batch).
+	s.met.mutateRepair.ObserveSeconds(out.RepairSeconds)
+	if out.N > 0 {
+		s.met.mutateDirty.ObserveSeconds(float64(len(res.Dirty)) / float64(out.N))
+	}
+	tc.AddSpan("repair", out.RepairSeconds)
 	// Purge cached colorings of prior versions — only when the batch
 	// materialized something: a no-op batch keeps the version, so the
 	// cached colorings of the current version are still valid.

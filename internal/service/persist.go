@@ -23,7 +23,15 @@ import (
 // byte-identical entries on demand.
 
 // AttachStore mounts st behind the server. Call before serving.
-func (s *Server) AttachStore(st *store.Store) { s.st = st }
+func (s *Server) AttachStore(st *store.Store) {
+	s.st = st
+	if st != nil && s.met != nil {
+		st.SetObserver(store.Observer{
+			WALAppendSeconds:  s.met.walAppend.ObserveSeconds,
+			CompactionSeconds: s.met.compaction.ObserveSeconds,
+		})
+	}
+}
 
 // Store returns the attached store (nil when the server is memory-only).
 func (s *Server) Store() *store.Store { return s.st }

@@ -538,7 +538,7 @@ func TestReplPipeWindowFIFOEpochRotationAndDurableWatermark(t *testing.T) {
 	sends := make(chan *replSend, 4)
 	go func() {
 		for v := uint64(101); v <= 104; v++ {
-			sends <- p.enqueue(v, payload(v))
+			sends <- p.enqueue(v, payload(v), "")
 			accepted.Add(1)
 		}
 	}()

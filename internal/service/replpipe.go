@@ -45,7 +45,10 @@ const DefaultPipelineWindow = 4
 type replSend struct {
 	version uint64
 	payload []byte
-	done    chan replOutcome
+	// reqID is the originating request's correlation ID, forwarded on
+	// the replication RPC so the hop is traceable on the replica.
+	reqID string
+	done  chan replOutcome
 }
 
 // replOutcome is the postReplicate verdict for one record, carried
@@ -75,7 +78,7 @@ type replPipe struct {
 func (s *Server) runPipe(p *replPipe) {
 	defer close(p.stopped)
 	for send := range p.sends {
-		ack, status, err := s.postReplicate(p.peer, send.payload)
+		ack, status, err := s.postReplicate(p.peer, send.payload, send.reqID)
 		send.done <- replOutcome{ack: ack, status: status, err: err}
 	}
 }
@@ -83,8 +86,8 @@ func (s *Server) runPipe(p *replPipe) {
 // enqueue submits one record, blocking while the window is full (the
 // write path's backpressure against a slow replica), and returns the
 // channel its outcome arrives on.
-func (p *replPipe) enqueue(version uint64, payload []byte) *replSend {
-	send := &replSend{version: version, payload: payload, done: make(chan replOutcome, 1)}
+func (p *replPipe) enqueue(version uint64, payload []byte, reqID string) *replSend {
+	send := &replSend{version: version, payload: payload, reqID: reqID, done: make(chan replOutcome, 1)}
 	p.sends <- send
 	return send
 }

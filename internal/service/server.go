@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/graphio"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/store"
 )
@@ -51,6 +53,16 @@ type Server struct {
 	// compactions); Close waits for it before unmapping snapshots.
 	bg sync.WaitGroup
 
+	// met is the obs layer: latency histograms wired through every hot
+	// path, exposed via /metrics?format=prom. ring holds the last
+	// completed request traces (/v1/debug/trace); node identifies this
+	// process in traces, logs and /healthz; reqLog is the optional
+	// sampled structured request logger.
+	met    *serverMetrics
+	ring   *obs.Ring
+	node   string
+	reqLog *requestLog
+
 	requests           atomic.Int64 // every API request
 	graphUploads       atomic.Int64
 	colorRequests      atomic.Int64
@@ -80,12 +92,17 @@ type Server struct {
 // NewServer builds a Server with a fresh registry and manager.
 func NewServer(cfg ManagerConfig) *Server {
 	reg := NewRegistry()
+	host, _ := os.Hostname()
 	s := &Server{
 		reg:   reg,
 		mgr:   NewManager(reg, cfg),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+		met:   newServerMetrics(),
+		ring:  obs.NewRing(0),
+		node:  host,
 	}
+	s.mgr.met = s.met
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/v1/graphs/", s.handleGraphSub)
 	s.mux.HandleFunc("/v1/color", s.handleColor)
@@ -98,6 +115,7 @@ func NewServer(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("/v1/internal/lease", s.handleLease)
 	s.mux.HandleFunc("/v1/internal/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
+	s.mux.HandleFunc("/v1/debug/trace", s.handleDebugTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -109,11 +127,13 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Manager exposes the job manager (tests).
 func (s *Server) Manager() *Manager { return s.mgr }
 
-// Handler returns the root HTTP handler.
+// Handler returns the root HTTP handler: every request goes through
+// the observability envelope (request-ID issue/propagation, duration
+// histogram, span ring, sampled request log) before the mux dispatch.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		s.mux.ServeHTTP(w, r)
+		s.instrument(w, r)
 	})
 }
 
@@ -345,7 +365,7 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		// As the graph's primary, replicate the registration to the
 		// placement peers (skipped for internal fan-out deliveries).
 		if s.cl != nil && r.Header.Get(replicatedHeader) == "" && s.cl.c.IsActivePrimary(req.Name) {
-			s.fanoutRegistration(req.Name, body)
+			s.fanoutRegistration(req.Name, body, r.Header.Get(obs.RequestIDHeader))
 		}
 		writeJSON(w, http.StatusOK, s.infoOf(entry))
 	default:
@@ -460,11 +480,41 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	writeJSONCompact(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness.
+// buildInfo resolves the binary's identity once: Go toolchain, module
+// version and the VCS revision/time stamped by `go build` when the
+// repo metadata is available (test binaries report neither).
+var buildInfo = func() (bi struct {
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"buildTime,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			bi.Revision = kv.Value
+		case "vcs.time":
+			bi.BuildTime = kv.Value
+		case "vcs.modified":
+			bi.Modified = kv.Value == "true"
+		}
+	}
+	return bi
+}()
+
+// handleHealthz reports liveness plus the node's identity and build
+// provenance, so cluster members are tellable apart from probes alone.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":        "ok",
 		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"node":          s.node,
+		"build":         buildInfo,
 	})
 }
 
@@ -503,7 +553,11 @@ type Metrics struct {
 	CompactRequests int64        `json:"compactRequests"`
 	// Cluster carries the routing/replication counters when this node
 	// is a member of a multi-node cluster.
-	Cluster        *ClusterMetrics `json:"cluster,omitempty"`
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
+	// HTTPLatency carries the per-endpoint server-side request-duration
+	// histogram snapshots (classes merged). colorload diffs two scrapes
+	// to print the server's own p50/p95/p99 for just its run.
+	HTTPLatency    map[string]obs.HistogramSnapshot `json:"httpLatency,omitempty"`
 	SchemaVersions struct {
 		AlgoRecord int `json:"algoRecord"`
 	} `json:"schemaVersions"`
@@ -556,6 +610,7 @@ func (s *Server) SnapshotMetrics() Metrics {
 			PipelineWindow:    s.cl.pipeWindow,
 		}
 	}
+	m.HTTPLatency = s.met.httpSnapshots()
 	m.SchemaVersions.AlgoRecord = harness.AlgoRecordSchemaVersion
 	return m
 }
@@ -625,6 +680,25 @@ func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleMetrics serves the metrics document in two negotiated shapes:
+// the JSON snapshot (unchanged — existing clients and tests), or
+// Prometheus text exposition when the client asks via ?format=prom or
+// Accept: text/plain. The prom view is the JSON document flattened
+// into gauges (every numeric field, automatically in sync) plus the
+// obs registry's latency histograms.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" || strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m := s.SnapshotMetrics()
+		// The histograms are exposed natively below; flattening their
+		// snapshot maps into gauges would only duplicate them.
+		m.HTTPLatency = nil
+		if err := obs.WritePromFromJSON(w, "colord", m); err != nil {
+			writeError(w, err)
+			return
+		}
+		s.met.reg.WriteProm(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.SnapshotMetrics())
 }

@@ -139,6 +139,14 @@ type Result struct {
 	// ReorderSeconds is the ADG ordering time (the reorder phase of the
 	// Fig. 1 split); the caller measures the total.
 	ReorderSeconds float64
+	// SpecSeconds / RepairSeconds / FallbackSeconds split the coloring
+	// time into the engine's phases: the unsynchronized chunk sweeps
+	// plus conflict detection, the localized repairs, and the full
+	// JP-ADG recolor when the engine fell back (0 when it didn't).
+	// The harness exports them as per-phase timings.
+	SpecSeconds     float64
+	RepairSeconds   float64
+	FallbackSeconds float64
 	// OrderIterations is the ADG peeling round count.
 	OrderIterations int
 	// EdgesScanned counts directed arc reads across speculation,
@@ -193,7 +201,8 @@ func ColorContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 		if err := par.CtxErr(ctx); err != nil {
 			return nil, err
 		}
-		dirty := dynamic.ConflictFrontier(g, colors, p)
+		var dirty []uint32
+		res.SpecSeconds += timed(func() { dirty = dynamic.ConflictFrontier(g, colors, p) })
 		res.Rounds++
 		res.EdgesScanned += g.NumArcs()
 		if len(dirty) == 0 {
@@ -203,9 +212,11 @@ func ColorContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 			float64(len(dirty)) > opts.FallbackFraction*float64(n)
 		capped := opts.MaxRepairRounds >= 0 && iter >= opts.MaxRepairRounds
 		if tooMany || capped {
-			jr, err := jp.ColorContext(ctx, g, ord, p)
-			if err != nil {
-				return nil, err
+			var jr *jp.Result
+			var jerr error
+			res.FallbackSeconds += timed(func() { jr, jerr = jp.ColorContext(ctx, g, ord, p) })
+			if jerr != nil {
+				return nil, jerr
 			}
 			colors = jr.Colors
 			res.Fallback = true
@@ -215,12 +226,15 @@ func ColorContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 		}
 		res.RepairRounds++
 		res.Conflicts += int64(len(dirty))
-		repaired, rounds := dynamic.RepairColors(g, colors, dirty,
-			dynamic.Options{Procs: p, Seed: opts.Seed, Epsilon: opts.Epsilon},
-			// Salt repairs past the chunk range so every repair in the
-			// run draws fresh tie-breaks while the whole run stays a
-			// pure function of the seed.
-			uint64(opts.SpecChunks+iter)+1)
+		var repaired, rounds int
+		res.RepairSeconds += timed(func() {
+			repaired, rounds = dynamic.RepairColors(g, colors, dirty,
+				dynamic.Options{Procs: p, Seed: opts.Seed, Epsilon: opts.Epsilon},
+				// Salt repairs past the chunk range so every repair in the
+				// run draws fresh tie-breaks while the whole run stays a
+				// pure function of the seed.
+				uint64(opts.SpecChunks+iter)+1)
+		})
 		res.Repaired += repaired
 		res.Rounds += rounds
 		for _, v := range dirty {
@@ -289,45 +303,47 @@ func speculateColors(ctx context.Context, g *graph.Graph, ord *order.Ordering, o
 		}
 		chunk := byOrder[chunkLo(c):chunkLo(c+1)]
 		cc := uint32(c)
-		par.ForWorkersWeightedBy(p, len(chunk), wscratch, func(i int) int64 {
-			return 1 + int64(g.Degree(chunk[i]))
-		}, func(w, lo, hi int) {
-			st := states[w]
-			for i := lo; i < hi; i++ {
-				v := chunk[i]
-				st.epoch++
-				for _, u := range g.Neighbors(v) {
-					if chunkOf[u] != cc {
-						if cu := colors[u]; cu != 0 && int(cu) < len(st.stamp) {
-							st.stamp[cu] = st.epoch
+		var dirtyIdx []uint32
+		res.SpecSeconds += timed(func() {
+			par.ForWorkersWeightedBy(p, len(chunk), wscratch, func(i int) int64 {
+				return 1 + int64(g.Degree(chunk[i]))
+			}, func(w, lo, hi int) {
+				st := states[w]
+				for i := lo; i < hi; i++ {
+					v := chunk[i]
+					st.epoch++
+					for _, u := range g.Neighbors(v) {
+						if chunkOf[u] != cc {
+							if cu := colors[u]; cu != 0 && int(cu) < len(st.stamp) {
+								st.stamp[cu] = st.epoch
+							}
 						}
 					}
+					nc := uint32(1)
+					for st.stamp[nc] == st.epoch {
+						nc++
+					}
+					colors[v] = nc
 				}
-				nc := uint32(1)
-				for st.stamp[nc] == st.epoch {
-					nc++
+			})
+
+			// Detect within-chunk conflicts (the only edges the pass
+			// speculated away) and repair them before the next chunk reads
+			// these colors. Pack keeps chunk order, so the dirty sequence —
+			// and through it the repair — is deterministic at any p.
+			dirtyIdx = par.Pack(p, len(chunk), func(i int) bool {
+				v := chunk[i]
+				cv := colors[v]
+				for _, u := range g.Neighbors(v) {
+					if chunkOf[u] == cc && colors[u] == cv {
+						return true
+					}
 				}
-				colors[v] = nc
-			}
+				return false
+			})
 		})
 		res.SpecChunks++
-		res.Rounds++
-
-		// Detect within-chunk conflicts (the only edges the pass
-		// speculated away) and repair them before the next chunk reads
-		// these colors. Pack keeps chunk order, so the dirty sequence —
-		// and through it the repair — is deterministic at any p.
-		dirtyIdx := par.Pack(p, len(chunk), func(i int) bool {
-			v := chunk[i]
-			cv := colors[v]
-			for _, u := range g.Neighbors(v) {
-				if chunkOf[u] == cc && colors[u] == cv {
-					return true
-				}
-			}
-			return false
-		})
-		res.Rounds++
+		res.Rounds += 2 // the sweep pass and the detection scan
 		if len(dirtyIdx) == 0 {
 			continue
 		}
@@ -345,7 +361,10 @@ func speculateColors(ctx context.Context, g *graph.Graph, ord *order.Ordering, o
 		}
 		res.RepairRounds++
 		res.Conflicts += int64(len(dirty))
-		repaired, rounds := dynamic.RepairColors(g, colors, dirty, dOpts, uint64(c)+1)
+		var repaired, rounds int
+		res.RepairSeconds += timed(func() {
+			repaired, rounds = dynamic.RepairColors(g, colors, dirty, dOpts, uint64(c)+1)
+		})
 		res.Repaired += repaired
 		res.Rounds += rounds
 		for _, v := range dirty {

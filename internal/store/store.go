@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
@@ -133,7 +134,27 @@ type Store struct {
 	recoveredGraphs int
 	replayedBatches int
 	truncatedWALs   int
+
+	// observer receives durability latencies (WAL append+fsync,
+	// compaction) when the service layer attaches one; nil hooks and a
+	// nil observer are both no-ops.
+	observer atomic.Pointer[Observer]
 }
+
+// Observer carries optional latency callbacks the serving layer hooks
+// its histograms into. Either function may be nil.
+type Observer struct {
+	// WALAppendSeconds is called with the duration of each durable WAL
+	// append (including the fsync).
+	WALAppendSeconds func(float64)
+	// CompactionSeconds is called with the duration of each completed
+	// compaction, from the snapshot write through adoption.
+	CompactionSeconds func(float64)
+}
+
+// SetObserver attaches (or replaces) the latency observer. Safe
+// concurrently with appends and compactions.
+func (s *Store) SetObserver(o Observer) { s.observer.Store(&o) }
 
 // Open opens (creating if needed) the store rooted at opts.Dir.
 func Open(opts Options) (*Store, error) {
@@ -440,8 +461,12 @@ func (s *Store) AppendBatch(name string, version uint64, b dynamic.Batch) (bool,
 		return false, fmt.Errorf("store: WAL gap for %q: appending version %d after %d (an earlier batch was never logged; compact to re-sync)",
 			name, version, gs.lastVersion)
 	}
+	appendStart := time.Now()
 	if err := gs.wal.Append(version, b); err != nil {
 		return false, err
+	}
+	if o := s.observer.Load(); o != nil && o.WALAppendSeconds != nil {
+		o.WALAppendSeconds(time.Since(appendStart).Seconds())
 	}
 	gs.lastVersion = version
 	s.walAppends.Add(1)
@@ -485,6 +510,7 @@ type PendingCompact struct {
 	name     string
 	snapName string
 	version  uint64
+	began    time.Time
 }
 
 // BeginCompact writes g (the graph at version, with its maintained
@@ -496,11 +522,12 @@ func (s *Store) BeginCompact(name string, g *graph.Graph, colors []uint32, versi
 	if err != nil {
 		return nil, err
 	}
+	began := time.Now()
 	snapName := fmt.Sprintf("snapshot-%d.pcs", version)
 	if _, err := WriteSnapshotFile(filepath.Join(gs.dir, snapName+pendingSuffix), g, colors, version); err != nil {
 		return nil, err
 	}
-	return &PendingCompact{s: s, gs: gs, name: name, snapName: snapName, version: version}, nil
+	return &PendingCompact{s: s, gs: gs, name: name, snapName: snapName, version: version, began: began}, nil
 }
 
 // Abort discards the pending snapshot file. The adopted snapshot is
@@ -577,6 +604,9 @@ func (p *PendingCompact) Commit() error {
 	}
 	gs.snap = snap
 	p.s.compactions.Add(1)
+	if o := p.s.observer.Load(); o != nil && o.CompactionSeconds != nil {
+		o.CompactionSeconds(time.Since(p.began).Seconds())
+	}
 	return nil
 }
 

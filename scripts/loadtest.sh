@@ -46,7 +46,37 @@ if [ -z "$up" ]; then
 fi
 
 bin/colorload -addr "http://$ADDR" -graph loadtest -spec "$SPEC" \
-    -c "$CLIENTS" -n "$REQUESTS" -verify -mutate-frac "$MUTATE"
+    -c "$CLIENTS" -n "$REQUESTS" -verify -mutate-frac "$MUTATE" \
+    -metrics-out loadtest_metrics.json
+
+# Prometheus exposition sanity while the loaded daemon is still up:
+# the scrape must be non-empty, every sample line must parse, and no
+# series may appear twice (duplicate series break real scrapers).
+PROM="$(mktemp)"
+curl -sf "http://$ADDR/metrics?format=prom" > "$PROM"
+awk '
+  /^$/ { next }
+  /^#/ { next }
+  {
+    if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [-+0-9.eE]*(Inf|NaN)?$/) {
+      printf "loadtest: unparseable exposition line: %s\n", $0
+      bad = 1
+    }
+    series = $0
+    sub(/ [^ ]*$/, "", series)
+    if (seen[series]++) {
+      printf "loadtest: duplicate series: %s\n", series
+      bad = 1
+    }
+    n++
+  }
+  END {
+    if (n == 0) { print "loadtest: empty Prometheus exposition"; exit 1 }
+    if (bad) exit 1
+    printf "loadtest: Prometheus exposition ok (%d samples, no duplicates)\n", n
+  }
+' "$PROM"
+rm -f "$PROM"
 
 kill "$COLORD_PID" 2>/dev/null || true
 wait "$COLORD_PID" 2>/dev/null || true
