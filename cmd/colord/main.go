@@ -131,6 +131,37 @@
 // Lease terms, grants and the leaseRenewals/leaseFenced/resyncs
 // counters surface in /v1/cluster/status and /metrics.
 //
+// # Quality SLO
+//
+// With -recolor the daemon treats coloring quality as a background
+// service objective: whenever no coloring or mutation job is inflight,
+// a worker runs bounded iterated-greedy passes (Culberson-style; see
+// internal/recolor) over each held graph's maintained coloring and
+// adopts the result only when it strictly reduces the distinct color
+// count — the maintained coloring can only ever get better, and the
+// graph version does NOT change (the graph didn't, only its palette).
+// Adopted improvements purge the affected cache entries, re-fold the
+// store snapshot when -data-dir is set (so they survive restarts), and
+// on a cluster ship from the graph's primary to its replicas:
+//
+//	colord -addr :8712 -preload big=kron:12 -recolor \
+//	       -recolor-interval 250ms -recolor-budget 4
+//
+// Give a graph an objective — registration's "targetColors" field or
+// PATCH /v1/graphs/{id}/quality — and its SLO state (met/burning),
+// pass counts and colors saved appear on GET /v1/graphs/{id}/quality,
+// in graph listings and on /metrics:
+//
+//	curl -s -X PATCH localhost:8712/v1/graphs/big/quality \
+//	     -d '{"targetColors":20}'
+//	curl -s localhost:8712/v1/graphs/big/quality
+//
+// On a cluster, GET /v1/cluster/metrics on ANY node returns one
+// cluster-level document: per-node metrics plus an aggregate with
+// summed counters and bucket-merged latency histograms (quantiles are
+// computed from the merged buckets, never averaged averages). JSON by
+// default, Prometheus exposition with ?format=prom.
+//
 // # Fault injection
 //
 // -fault-injection (never in production) arms the deterministic chaos
@@ -185,6 +216,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faultinject"
+	"repro/internal/quality"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -198,6 +230,10 @@ func main() {
 		preload = flag.String("preload", "", "comma-separated name=spec graphs to register at startup (e.g. kron12=kron:12)")
 		dataDir = flag.String("data-dir", "", "data directory for durable graphs + mutation WALs (empty: memory-only)")
 		compact = flag.Int64("compact-bytes", store.DefaultCompactBytes, "WAL size that triggers background compaction into a snapshot")
+
+		recolorOn  = flag.Bool("recolor", false, "enable the background quality worker: iterated-greedy recoloring of held graphs while the daemon is idle (adoptions only ever reduce the color count)")
+		recolorIvl = flag.Duration("recolor-interval", quality.DefaultInterval, "pause between background recolor cycles (with -recolor)")
+		recolorBud = flag.Int("recolor-budget", quality.DefaultBudget, "iterated-greedy passes per graph per cycle (with -recolor)")
 
 		clusterSelf  = flag.String("cluster-self", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8712); enables clustering together with -cluster-peers")
 		clusterPeers = flag.String("cluster-peers", "", "comma-separated base URLs of every cluster member (self is added if absent)")
@@ -351,6 +387,13 @@ func main() {
 			st := e.Stats()
 			fmt.Printf("colord: preloaded %s (%s): n=%d m=%d version=%d\n", name, spec, st.N, st.M, e.Version())
 		}
+	}
+
+	if *recolorOn {
+		// Start the quality worker last so its first cycle already sees
+		// recovered and preloaded graphs. Close stops it before draining.
+		srv.EnableRecolor(*recolorIvl, *recolorBud)
+		fmt.Printf("colord: background recoloring on (interval %s, budget %d passes/graph/cycle)\n", *recolorIvl, *recolorBud)
 	}
 
 	hs := &http.Server{

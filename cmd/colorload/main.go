@@ -996,6 +996,29 @@ func main() {
 			fmt.Printf("colorload: server %-24s %6d reqs  p50 %v  p95 %v  p99 %v\n",
 				ep, snap.Count, quantileDur(snap, 0.50), quantileDur(snap, 0.95), quantileDur(snap, 0.99))
 		}
+		// Per-graph coloring quality, next to the latency it cost: the
+		// maintained palette size, what background recoloring saved and
+		// where each graph stands against its targetColors objective.
+		if q := m.Quality; q != nil && len(q.Graphs) > 0 {
+			names := make([]string, 0, len(q.Graphs))
+			for n := range q.Graphs {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				st := q.Graphs[n]
+				target := "-"
+				if st.TargetColors > 0 {
+					target = strconv.Itoa(st.TargetColors)
+				}
+				fmt.Printf("colorload: quality %-23s %d colors (initial %d, saved %d, target %s, slo %s) after %d recolor passes\n",
+					n, st.Colors, st.InitialColors, st.ColorsSaved, target, st.SLO(), st.Passes)
+			}
+			if q.Enabled {
+				fmt.Printf("colorload: quality worker: %d cycles (%d skipped under load), %d passes, %d improvements, %d colors saved\n",
+					q.Cycles, q.SkippedCycles, q.Passes, q.Improvements, q.ColorsSaved)
+			}
+		}
 	}
 	if *metOut != "" {
 		if rawMetrics == nil {

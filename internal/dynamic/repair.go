@@ -8,6 +8,7 @@ import (
 	"repro/internal/jp"
 	"repro/internal/order"
 	"repro/internal/par"
+	"repro/internal/verify"
 )
 
 // Options parameterizes a Colored. The zero value selects the paper's
@@ -117,6 +118,36 @@ func (c *Colored) Colors() []uint32 {
 // Snapshot materializes the current graph (memoized per version).
 func (c *Colored) Snapshot() (*graph.Graph, error) {
 	return c.ov.Snapshot(c.opts.Procs)
+}
+
+// AdoptColors replaces the maintained coloring with an externally
+// improved one — the recolor worker's adoption hook. The overlay
+// version is untouched: an adoption changes which proper coloring is
+// maintained, not the graph, so mutation semantics (version-keyed
+// caches, WAL continuity, replication watermarks) see nothing. The
+// candidate must be proper on the current graph and use STRICTLY fewer
+// colors than the maintained coloring; anything else is rejected so a
+// racing mutation or a buggy improvement pass can never regress
+// quality. Returns how many colors the adoption saved.
+func (c *Colored) AdoptColors(colors []uint32) (int, error) {
+	g, err := c.ov.Snapshot(c.opts.Procs)
+	if err != nil {
+		return 0, err
+	}
+	if len(colors) != g.NumVertices() {
+		return 0, fmt.Errorf("dynamic: adopt: %d colors for %d vertices", len(colors), g.NumVertices())
+	}
+	if err := verify.CheckProper(g, colors); err != nil {
+		return 0, fmt.Errorf("dynamic: adopt: candidate coloring invalid: %v", err)
+	}
+	nc := countColors(colors)
+	if nc >= c.numColors {
+		return 0, fmt.Errorf("dynamic: adopt: candidate uses %d colors, not strictly fewer than the maintained %d", nc, c.numColors)
+	}
+	saved := c.numColors - nc
+	c.colors = append([]uint32(nil), colors...)
+	c.numColors = nc
+	return saved, nil
 }
 
 // fullColor runs the static pipeline: ADG ordering, then JP.

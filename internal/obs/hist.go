@@ -127,12 +127,29 @@ func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// mergeMismatches counts Merge calls over two non-empty snapshots with
+// different bucket layouts — a schema skew (e.g. nodes on different
+// builds aggregating cluster metrics) that would otherwise silently
+// drop one side's observations. Exposed via MergeMismatches so the
+// /metrics document can surface it.
+var mergeMismatches atomic.Int64
+
+// MergeMismatches reports how many histogram merges were dropped
+// because the two snapshots' bucket layouts disagreed.
+func MergeMismatches() int64 { return mergeMismatches.Load() }
+
 // Merge returns the bucketwise sum of s and o (for aggregating the
-// same metric across label series or nodes).
+// same metric across label series or nodes). An empty side is an
+// identity, not a mismatch; two non-empty snapshots with different
+// bucket layouts cannot be summed — the receiver wins and the drop is
+// counted in MergeMismatches.
 func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 	if len(o.Buckets) != len(s.Buckets) {
 		if len(s.Buckets) == 0 {
 			return o
+		}
+		if len(o.Buckets) != 0 {
+			mergeMismatches.Add(1)
 		}
 		return s
 	}

@@ -1,0 +1,230 @@
+package quality
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTrackerObserveAndSLO(t *testing.T) {
+	tr := NewTracker()
+
+	// Unknown graph: zero state, not known.
+	if _, ok := tr.Get("g"); ok {
+		t.Fatal("empty tracker knows a graph")
+	}
+
+	tr.Observe("g", 12, 3)
+	s, ok := tr.Get("g")
+	if !ok || s.Colors != 12 || s.InitialColors != 12 || s.Version != 3 {
+		t.Fatalf("after first observe: %+v ok=%v", s, ok)
+	}
+	if got := s.SLO(); got != SLONone {
+		t.Fatalf("no objective: SLO=%q, want %q", got, SLONone)
+	}
+	if s.Met() {
+		t.Fatal("no objective reports met")
+	}
+
+	// A later, tighter observation keeps InitialColors pinned.
+	tr.Observe("g", 10, 3)
+	s, _ = tr.Get("g")
+	if s.Colors != 10 || s.InitialColors != 12 {
+		t.Fatalf("after improvement observe: %+v", s)
+	}
+
+	tr.SetTarget("g", 11)
+	s, _ = tr.Get("g")
+	if got := s.SLO(); got != SLOMet || !s.Met() {
+		t.Fatalf("colors 10 target 11: SLO=%q", got)
+	}
+	tr.SetTarget("g", 9)
+	s, _ = tr.Get("g")
+	if got := s.SLO(); got != SLOBurning || s.Met() {
+		t.Fatalf("colors 10 target 9: SLO=%q", got)
+	}
+	// Clearing the target returns to none.
+	tr.SetTarget("g", 0)
+	if s, _ = tr.Get("g"); s.SLO() != SLONone {
+		t.Fatalf("cleared target: SLO=%q", s.SLO())
+	}
+
+	// A target set before any observation burns until a coloring shows up.
+	tr.SetTarget("h", 5)
+	if s, _ = tr.Get("h"); s.SLO() != SLOBurning {
+		t.Fatalf("target with no coloring: SLO=%q, want burning", s.SLO())
+	}
+
+	// Zero-color observations are ignored (no maintained coloring yet).
+	tr.Observe("h", 0, 1)
+	if s, _ = tr.Get("h"); s.Colors != 0 {
+		t.Fatalf("zero observe recorded: %+v", s)
+	}
+
+	tr.Remove("h")
+	if _, ok := tr.Get("h"); ok {
+		t.Fatal("removed graph still known")
+	}
+}
+
+func TestTrackerPassesAndTotals(t *testing.T) {
+	tr := NewTracker()
+	now := time.Unix(1000, 0)
+	tr.Observe("a", 9, 1)
+	tr.RecordPass("a", 4, 0, now)
+	s, _ := tr.Get("a")
+	if s.Passes != 4 || s.Improvements != 0 || s.LastPassUnix != 1000 || s.LastImprovementUnix != 0 {
+		t.Fatalf("after no-gain pass: %+v", s)
+	}
+	later := time.Unix(2000, 0)
+	tr.RecordPass("a", 2, 3, later)
+	s, _ = tr.Get("a")
+	if s.Passes != 6 || s.Improvements != 1 || s.ColorsSaved != 3 || s.LastImprovementUnix != 2000 {
+		t.Fatalf("after improving pass: %+v", s)
+	}
+	tr.RecordPass("b", 1, 1, later)
+	passes, improvements, saved := tr.Totals()
+	if passes != 7 || improvements != 2 || saved != 4 {
+		t.Fatalf("totals: %d/%d/%d", passes, improvements, saved)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap["a"].Passes != 6 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	// Snapshot is a copy: mutating it must not leak back.
+	a := snap["a"]
+	a.Passes = 999
+	snap["a"] = a
+	if s, _ := tr.Get("a"); s.Passes != 6 {
+		t.Fatal("snapshot aliases tracker state")
+	}
+}
+
+func TestRunnerVisitsWhenIdle(t *testing.T) {
+	var visits atomic.Int64
+	var mu sync.Mutex
+	seen := map[string]int{}
+	r := &Runner{
+		Interval: time.Millisecond,
+		Budget:   3,
+		Graphs:   func() []string { return []string{"a", "b"} },
+		Visit: func(ctx context.Context, name string, budget int) {
+			if budget != 3 {
+				t.Errorf("budget = %d, want 3", budget)
+			}
+			visits.Add(1)
+			mu.Lock()
+			seen[name]++
+			mu.Unlock()
+		},
+	}
+	r.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for visits.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	if visits.Load() < 4 {
+		t.Fatalf("only %d visits before deadline", visits.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen["a"] == 0 || seen["b"] == 0 {
+		t.Fatalf("not every graph visited: %+v", seen)
+	}
+	if r.Cycles() == 0 {
+		t.Fatal("no cycles counted")
+	}
+}
+
+func TestRunnerSkipsUnderLoad(t *testing.T) {
+	var visits atomic.Int64
+	idle := atomic.Bool{} // starts busy
+	r := &Runner{
+		Interval: time.Millisecond,
+		Idle:     func() bool { return idle.Load() },
+		Graphs:   func() []string { return []string{"a"} },
+		Visit:    func(context.Context, string, int) { visits.Add(1) },
+	}
+	r.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Skipped() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if visits.Load() != 0 {
+		r.Stop()
+		t.Fatalf("busy server got %d visits", visits.Load())
+	}
+	if r.Skipped() < 3 {
+		r.Stop()
+		t.Fatalf("only %d skips before deadline", r.Skipped())
+	}
+	idle.Store(true)
+	for visits.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	if visits.Load() == 0 {
+		t.Fatal("idle server never visited")
+	}
+}
+
+func TestRunnerStopCancelsVisit(t *testing.T) {
+	started := make(chan struct{})
+	var sawCancel atomic.Bool
+	r := &Runner{
+		Interval: time.Millisecond,
+		Graphs:   func() []string { return []string{"a"} },
+		Visit: func(ctx context.Context, _ string, _ int) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			select {
+			case <-ctx.Done():
+				sawCancel.Store(true)
+			case <-time.After(5 * time.Second):
+			}
+		},
+	}
+	r.Start()
+	select {
+	case <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("visit never started")
+	}
+	stopDone := make(chan struct{})
+	go func() { r.Stop(); close(stopDone) }()
+	select {
+	case <-stopDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not return — visit context not cancelled")
+	}
+	if !sawCancel.Load() {
+		t.Fatal("visit never saw the cancellation")
+	}
+	// Stop again: no-op, no panic. A never-started runner too.
+	r.Stop()
+	(&Runner{}).Stop()
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	var budget atomic.Int64
+	r := &Runner{
+		// zero Interval / Budget select the defaults
+		Graphs: func() []string { return []string{"a"} },
+		Visit:  func(_ context.Context, _ string, b int) { budget.Store(int64(b)) },
+	}
+	r.Interval = 2 * time.Millisecond // keep the test fast, budget still defaulted
+	r.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for budget.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	if budget.Load() != DefaultBudget {
+		t.Fatalf("defaulted budget = %d, want %d", budget.Load(), DefaultBudget)
+	}
+}

@@ -1,0 +1,108 @@
+package quality
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Runner is the background recolor scheduler: every Interval it wakes,
+// and — only when the serving layer reports itself idle — visits each
+// registered graph once with a bounded pass budget. Under load whole
+// cycles are skipped (counted, not queued): quality work must never
+// compete with request traffic for the inflight budget, it soaks up
+// the gaps between bursts. Stop cancels the context threaded into the
+// visit hook, so a recolor pass in flight returns within one
+// iterated-greedy pass (recolor.IteratedGreedyContext's preemption
+// point).
+type Runner struct {
+	// Interval between wakeups (<= 0 selects DefaultInterval).
+	Interval time.Duration
+	// Budget is the per-graph, per-visit iterated-greedy pass cap
+	// (<= 0 selects DefaultBudget).
+	Budget int
+	// Idle reports whether the serving layer has capacity to spare;
+	// checked before every cycle AND between graphs, so a request
+	// burst arriving mid-cycle stops the sweep at the next boundary.
+	// nil means always idle.
+	Idle func() bool
+	// Graphs lists the graphs to visit (a fresh snapshot per cycle).
+	Graphs func() []string
+	// Visit runs one bounded improvement attempt on a graph. The ctx
+	// is cancelled by Stop. Errors are the visit's own problem to
+	// record (the runner keeps sweeping).
+	Visit func(ctx context.Context, name string, budget int)
+
+	cycles  atomic.Int64
+	skipped atomic.Int64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// DefaultInterval / DefaultBudget are the colord flag defaults: wake
+// four times a second when idle, spend at most four passes per graph
+// per visit — small enough that a visit finishes inside one interval
+// on every generated-suite graph, so the idle check stays honest.
+const (
+	DefaultInterval = 250 * time.Millisecond
+	DefaultBudget   = 4
+)
+
+// Start launches the background loop. Must be called at most once.
+func (r *Runner) Start() {
+	interval := r.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	budget := r.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			if r.Idle != nil && !r.Idle() {
+				r.skipped.Add(1)
+				continue
+			}
+			r.cycles.Add(1)
+			for _, name := range r.Graphs() {
+				if ctx.Err() != nil {
+					return
+				}
+				if r.Idle != nil && !r.Idle() {
+					break
+				}
+				r.Visit(ctx, name, budget)
+			}
+		}
+	}()
+}
+
+// Stop cancels the loop (and any in-flight visit's context) and waits
+// for it to exit. Safe to call without Start (no-op) and repeatedly.
+func (r *Runner) Stop() {
+	if r.cancel == nil {
+		return
+	}
+	r.cancel()
+	<-r.done
+	r.cancel = nil
+}
+
+// Cycles returns completed (non-skipped) wakeups.
+func (r *Runner) Cycles() int64 { return r.cycles.Load() }
+
+// Skipped returns wakeups skipped because the server was busy.
+func (r *Runner) Skipped() int64 { return r.skipped.Load() }

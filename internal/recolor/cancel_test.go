@@ -1,0 +1,76 @@
+package recolor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/verify"
+)
+
+// TestIteratedGreedyContextCancelled checks the cooperative cancellation
+// contract: a cancelled context aborts between passes with ctx.Err() and
+// no partial result, and a background context reproduces IteratedGreedy
+// exactly.
+func TestIteratedGreedyContextCancelled(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(300, 1500, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := baseColoring(t, g)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := IteratedGreedyContext(ctx, g, base, RandomOrder, 10, 7)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: got (%v, %v), want context.Canceled", res, err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled run returned a partial result: %+v", res)
+	}
+
+	want, err := IteratedGreedy(g, base, ReverseOrder, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := IteratedGreedyContext(context.Background(), g, base, ReverseOrder, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumColors != want.NumColors || got.Passes != want.Passes {
+		t.Fatalf("background IteratedGreedyContext diverges: %d/%d vs %d/%d",
+			got.NumColors, got.Passes, want.NumColors, want.Passes)
+	}
+	for i := range want.Colors {
+		if want.Colors[i] != got.Colors[i] {
+			t.Fatalf("coloring diverges at vertex %d", i)
+		}
+	}
+}
+
+// TestIteratedGreedyContextDeadline checks that an already-expired
+// deadline is seen before the first pass runs.
+func TestIteratedGreedyContextDeadline(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(100, 400, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := baseColoring(t, g)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := IteratedGreedyContext(ctx, g, base, ReverseOrder, 5, 7); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: got %v, want context.DeadlineExceeded", err)
+	}
+	// The improper-input check still fires before any pass budget is
+	// spent, cancelled or not.
+	bad := append([]uint32(nil), base...)
+	if g.NumVertices() > 1 && g.Degree(0) > 0 {
+		bad[g.Neighbors(0)[0]] = bad[0]
+		if _, err := IteratedGreedyContext(context.Background(), g, bad, ReverseOrder, 1, 7); err == nil {
+			t.Fatal("improper input coloring was accepted")
+		}
+	}
+	_ = verify.NumColors(base)
+}

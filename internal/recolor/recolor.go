@@ -7,9 +7,11 @@
 package recolor
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/verify"
 	"repro/internal/xrand"
 )
@@ -40,6 +42,15 @@ type Result struct {
 // properness and never increases the number of colors; class-order
 // heuristics often decrease it. The input coloring must be proper.
 func IteratedGreedy(g *graph.Graph, colors []uint32, strategy Strategy, maxPasses int, seed uint64) (*Result, error) {
+	return IteratedGreedyContext(context.Background(), g, colors, strategy, maxPasses, seed)
+}
+
+// IteratedGreedyContext is IteratedGreedy with cooperative cancellation:
+// ctx is checked once per pass (the same per-round convention as
+// jp.ColorContext), so a cancelled long-running improvement run returns
+// within one pass instead of burning the full budget. On cancellation
+// the partial result is discarded and ctx.Err() is returned.
+func IteratedGreedyContext(ctx context.Context, g *graph.Graph, colors []uint32, strategy Strategy, maxPasses int, seed uint64) (*Result, error) {
 	if err := verify.CheckProper(g, colors); err != nil {
 		return nil, err
 	}
@@ -47,6 +58,9 @@ func IteratedGreedy(g *graph.Graph, colors []uint32, strategy Strategy, maxPasse
 	res := &Result{}
 	rng := xrand.New(seed)
 	for pass := 0; pass < maxPasses; pass++ {
+		if err := par.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		before := verify.NumColors(cur)
 		next := regreedy(g, cur, strategy, rng)
 		after := verify.NumColors(next)

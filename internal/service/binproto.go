@@ -251,7 +251,12 @@ func (s *Server) serveMaintainedBin(w http.ResponseWriter, req ColorRequest) {
 		return
 	}
 	version := entry.Version()
-	if s.st != nil {
+	// The mmapped snapshot is authoritative only when it captures BOTH
+	// the current graph version AND the current quality generation: a
+	// recolor adoption improves the coloring without bumping the
+	// version, and until the re-fold commits, the snapshot's colors are
+	// superseded (prefer the in-memory improvement below).
+	if s.st != nil && entry.snapQualityGen.Load() == entry.qualityGen.Load() {
 		// numColors is memoized on the snapshot — no per-request O(n)
 		// palette scan undercutting the zero-copy read.
 		if colors, numColors, snapVersion, ok := s.st.SnapshotColors(req.Graph); ok && snapVersion == version {

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// GET /v1/cluster/metrics: one cluster-level metrics document from any
+// node. The serving node fans out to every peer's /metrics (bounded
+// timeout, one internal retry), merges the per-endpoint latency
+// histogram snapshots bucket-by-bucket (obs.HistogramSnapshot.Merge —
+// quantiles computed from the merged buckets are consistent with the
+// union of the nodes' observations, not an average of averages), sums
+// the counters, and reports both the aggregate and the per-node
+// breakdown. Works single-node too (a one-node cluster of itself), so
+// dashboards scrape the same shape everywhere. ?format=prom renders
+// the aggregate in Prometheus exposition.
+
+// clusterNodeMetrics is one node's slot in the fan-out result: its
+// full metrics document, or the error that kept it out of the
+// aggregate (down peers are reported, never silently dropped).
+type clusterNodeMetrics struct {
+	Node    string   `json:"node"`
+	Error   string   `json:"error,omitempty"`
+	Metrics *Metrics `json:"metrics,omitempty"`
+}
+
+// latencySummary is one endpoint's merged latency quantiles in
+// seconds, computed from the cluster-merged histogram.
+type latencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// clusterAggregate sums the counters and merges the histograms of
+// every reporting node.
+type clusterAggregate struct {
+	Requests           int64 `json:"requests"`
+	GraphUploads       int64 `json:"graphUploads"`
+	ColorRequests      int64 `json:"colorRequests"`
+	ColorErrors        int64 `json:"colorErrors"`
+	MutateRequests     int64 `json:"mutateRequests"`
+	MutateErrors       int64 `json:"mutateErrors"`
+	MutateFallbacks    int64 `json:"mutateFallbacks"`
+	CacheInvalidations int64 `json:"cacheInvalidations"`
+	CacheHits          int64 `json:"cacheHits"`
+	CacheMisses        int64 `json:"cacheMisses"`
+	CacheEvictions     int64 `json:"cacheEvictions"`
+	CacheEntries       int64 `json:"cacheEntries"`
+	PersistErrors      int64 `json:"persistErrors"`
+	CompactRequests    int64 `json:"compactRequests"`
+	// Quality totals across nodes. On a cluster each improvement is
+	// adopted once per holder (primary + replicas), so ColorsSaved here
+	// measures adoption work done, not distinct improvements.
+	QualityPasses       int64 `json:"qualityPasses"`
+	QualityImprovements int64 `json:"qualityImprovements"`
+	QualityColorsSaved  int64 `json:"qualityColorsSaved"`
+	HistMergeMismatches int64 `json:"histMergeMismatches"`
+	// HTTPLatency maps each endpoint to the bucket-merged histogram of
+	// every reporting node; LatencySummary derives p50/p95/p99 from it
+	// (present only for endpoints with observations — quantiles of an
+	// empty histogram are undefined, and NaN has no JSON encoding).
+	HTTPLatency    map[string]obs.HistogramSnapshot `json:"httpLatency,omitempty"`
+	LatencySummary map[string]latencySummary        `json:"latencySummary,omitempty"`
+}
+
+// clusterMetricsDoc is the GET /v1/cluster/metrics response.
+type clusterMetricsDoc struct {
+	Self  string `json:"self"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// NodesTotal counts cluster members; NodesReporting counts those
+	// whose metrics made it into the aggregate this scrape.
+	NodesTotal     int                  `json:"nodesTotal"`
+	NodesReporting int                  `json:"nodesReporting"`
+	Nodes          []clusterNodeMetrics `json:"nodes"`
+	Aggregate      clusterAggregate     `json:"aggregate"`
+}
+
+// fetchPeerMetrics scrapes one peer's /metrics JSON document over the
+// replication client (its bounded timeout), with the standard internal
+// retry policy.
+func (s *Server) fetchPeerMetrics(peer string) (*Metrics, error) {
+	var m Metrics
+	err := internalRetry.Do(context.Background(), func(context.Context) error {
+		resp, err := s.cl.replClient.Get(peer + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		m = Metrics{}
+		return json.Unmarshal(body, &m)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// buildClusterMetrics assembles the document: concurrent peer scrapes,
+// then a deterministic fold in node order.
+func (s *Server) buildClusterMetrics() clusterMetricsDoc {
+	doc := clusterMetricsDoc{Self: s.node}
+	var nodes []string
+	if s.cl != nil {
+		c := s.cl.c
+		doc.Self = c.Self()
+		doc.Epoch = c.Epoch()
+		nodes = c.Nodes()
+	} else {
+		nodes = []string{s.node}
+	}
+	doc.NodesTotal = len(nodes)
+	doc.Nodes = make([]clusterNodeMetrics, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		doc.Nodes[i].Node = node
+		if s.cl == nil || node == s.cl.c.Self() {
+			m := s.SnapshotMetrics()
+			doc.Nodes[i].Metrics = &m
+			continue
+		}
+		if !s.cl.c.Alive(node) {
+			doc.Nodes[i].Error = "peer marked down"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			m, err := s.fetchPeerMetrics(peer)
+			if err != nil {
+				doc.Nodes[i].Error = err.Error()
+				s.cl.c.ReportFailure(peer, err)
+				return
+			}
+			s.cl.c.ReportSuccess(peer)
+			doc.Nodes[i].Metrics = m
+		}(i, node)
+	}
+	wg.Wait()
+
+	agg := &doc.Aggregate
+	merged := make(map[string]obs.HistogramSnapshot)
+	for _, n := range doc.Nodes {
+		m := n.Metrics
+		if m == nil {
+			continue
+		}
+		doc.NodesReporting++
+		agg.Requests += m.Requests
+		agg.GraphUploads += m.GraphUploads
+		agg.ColorRequests += m.ColorRequests
+		agg.ColorErrors += m.ColorErrors
+		agg.MutateRequests += m.MutateRequests
+		agg.MutateErrors += m.MutateErrors
+		agg.MutateFallbacks += m.MutateFallbacks
+		agg.CacheInvalidations += m.CacheInvalidations
+		agg.CacheHits += m.Cache.Hits
+		agg.CacheMisses += m.Cache.Misses
+		agg.CacheEvictions += m.Cache.Evictions
+		agg.CacheEntries += int64(m.Cache.Entries)
+		agg.PersistErrors += m.PersistErrors
+		agg.CompactRequests += m.CompactRequests
+		agg.HistMergeMismatches += m.HistMergeMismatches
+		if m.Quality != nil {
+			agg.QualityPasses += m.Quality.Passes
+			agg.QualityImprovements += m.Quality.Improvements
+			agg.QualityColorsSaved += m.Quality.ColorsSaved
+		}
+		for ep, snap := range m.HTTPLatency {
+			merged[ep] = merged[ep].Merge(snap)
+		}
+	}
+	if len(merged) > 0 {
+		agg.HTTPLatency = merged
+		agg.LatencySummary = make(map[string]latencySummary, len(merged))
+		for ep, snap := range merged {
+			if snap.Count <= 0 {
+				continue
+			}
+			agg.LatencySummary[ep] = latencySummary{
+				Count: snap.Count,
+				P50:   snap.Quantile(0.50),
+				P95:   snap.Quantile(0.95),
+				P99:   snap.Quantile(0.99),
+			}
+		}
+	}
+	return doc
+}
+
+// handleClusterMetrics serves GET /v1/cluster/metrics (JSON, or
+// Prometheus exposition via ?format=prom / Accept: text/plain).
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, fmt.Errorf("%w: %s on /v1/cluster/metrics (want GET)", ErrMethodNotAllowed, r.Method))
+		return
+	}
+	doc := s.buildClusterMetrics()
+	if r.URL.Query().Get("format") == "prom" || strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The flattener skips the Nodes array (and every string field),
+		// so the exposition carries the self/epoch identity gauges and
+		// the full aggregate — per-node drill-down stays in the JSON
+		// shape and each node's own /metrics.
+		if err := obs.WritePromFromJSON(w, "colord_cluster", doc); err != nil {
+			writeError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}

@@ -182,6 +182,8 @@ func (s *Server) handleGraphSub(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.infoOf(e))
 	case len(parts) == 2 && parts[1] == "mutate":
 		s.handleMutate(w, r, parts[0])
+	case len(parts) == 2 && parts[1] == "quality":
+		s.handleGraphQuality(w, r, parts[0])
 	default:
 		writeError(w, fmt.Errorf("%w: unknown path %q", ErrNotFound, r.URL.Path))
 	}
@@ -309,6 +311,12 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, name strin
 	if res.Fallback {
 		s.mutateFallbacks.Add(1)
 	}
+	// The repair re-established the maintained coloring at the new
+	// version — fold its count into the quality tracker (a repair may
+	// widen the palette; the SLO view must not keep reporting the
+	// tighter pre-mutation count).
+	s.qtr.Observe(name, res.NumColors, res.Version)
+	s.updateQualityGauges(name)
 	writeJSONCompact(w, http.StatusOK, MutateResponse{
 		Graph:            name,
 		Version:          res.Version,

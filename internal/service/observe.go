@@ -46,6 +46,17 @@ type serverMetrics struct {
 	// includes the fsync; compaction spans snapshot write → adoption).
 	walAppend  *obs.Histogram
 	compaction *obs.Histogram
+	// recolorPass: wall time of one background iterated-greedy visit;
+	// recolorSaved: total colors removed by adopted improvements.
+	recolorPass  *obs.Histogram
+	recolorSaved obs.Counter
+	// qualColors / qualTarget / qualMet: per-graph quality gauges —
+	// maintained color count, targetColors objective (0: none) and
+	// whether the SLO is met (1/0). Cardinality is bounded by the
+	// registry, not by requests.
+	qualColors *obs.GaugeVec
+	qualTarget *obs.GaugeVec
+	qualMet    *obs.GaugeVec
 }
 
 func newServerMetrics() *serverMetrics {
@@ -66,6 +77,11 @@ func newServerMetrics() *serverMetrics {
 		mutateRepair: r.NewHistogramVec("colord_mutate_repair_seconds", "Mutation repair duration.", nil, nil).With(),
 		walAppend:    r.NewHistogramVec("colord_store_wal_append_seconds", "WAL append+fsync duration.", nil, nil).With(),
 		compaction:   r.NewHistogramVec("colord_store_compaction_seconds", "Compaction duration (snapshot write through adoption).", nil, nil).With(),
+		recolorPass:  r.NewHistogramVec("colord_recolor_pass_seconds", "Background iterated-greedy recolor visit duration.", nil, nil).With(),
+		recolorSaved: r.NewCounterVec("colord_recolor_colors_saved_total", "Colors removed from maintained colorings by adopted recolor improvements.", nil).With(),
+		qualColors:   r.NewGaugeVec("colord_graph_quality_colors", "Maintained coloring's distinct color count by graph.", []string{"graph"}),
+		qualTarget:   r.NewGaugeVec("colord_graph_quality_target_colors", "targetColors quality objective by graph (0: none).", []string{"graph"}),
+		qualMet:      r.NewGaugeVec("colord_graph_quality_slo_met", "Whether the graph's quality SLO is met (1) or not (0).", []string{"graph"}),
 	}
 }
 
@@ -117,7 +133,9 @@ var knownEndpoints = map[string]bool{
 	"/v1/internal/version":   true,
 	"/v1/internal/lease":     true,
 	"/v1/internal/snapshot":  true,
+	"/v1/internal/recolor":   true,
 	"/v1/cluster/status":     true,
+	"/v1/cluster/metrics":    true,
 	"/v1/debug/trace":        true,
 	"/healthz":               true,
 	"/metrics":               true,
@@ -130,6 +148,9 @@ func normalizeEndpoint(path string) string {
 	if strings.HasPrefix(path, "/v1/graphs/") {
 		if strings.HasSuffix(path, "/mutate") {
 			return "/v1/graphs/{id}/mutate"
+		}
+		if strings.HasSuffix(path, "/quality") {
+			return "/v1/graphs/{id}/quality"
 		}
 		return "/v1/graphs/{id}"
 	}

@@ -148,6 +148,12 @@ func (s *Server) restoreGraph(rg store.RecoveredGraph, stats *RecoveryStats) err
 		// e.g. right after a compaction folded it away).
 		entry.lastBatchHash = lastHash
 		entry.mu.Unlock()
+		// Seed the quality tracker: a restored maintained coloring (which
+		// embeds any pre-crash recolor improvements the compaction folded)
+		// is the graph's current quality baseline. targetColors objectives
+		// are in-memory only and do not survive the restart.
+		s.qtr.Observe(rg.Name, dyn.NumColors(), dyn.Version())
+		s.updateQualityGauges(rg.Name)
 	}
 	return nil
 }
@@ -265,55 +271,81 @@ func (s *Server) compactGraph(name string) (bool, error) {
 	}
 	defer e.compacting.Store(false)
 
-	e.mu.Lock()
-	if e.dyn == nil {
+	// A quality adoption landing while the snapshot file is being
+	// written aborts the commit exactly like a mutation would — but
+	// unlike a mutation it has no later WAL-threshold trigger to retry
+	// the fold, so those aborts loop back here (bounded; an adoption
+	// requires a strict color-count reduction, so back-to-back
+	// collisions die out by themselves).
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		if e.dyn == nil {
+			e.mu.Unlock()
+			return true, nil // never mutated: WAL is empty, already folded
+		}
+		g, err := e.dyn.Snapshot() // memoized: cheap unless no request saw this version yet
+		version := e.dyn.Version()
+		qgen := e.qualityGen.Load() // same critical section as the colors it describes
+		var colors []uint32
+		if err == nil {
+			colors = e.dyn.Colors()
+		}
 		e.mu.Unlock()
-		return true, nil // never mutated: WAL is empty, already folded
-	}
-	g, err := e.dyn.Snapshot() // memoized: cheap unless no request saw this version yet
-	version := e.dyn.Version()
-	var colors []uint32
-	if err == nil {
-		colors = e.dyn.Colors()
-	}
-	e.mu.Unlock()
-	if err != nil {
-		s.persistErrors.Add(1)
-		return false, err
-	}
-	// Nothing to fold: the durable snapshot already captures this exact
-	// version AND the WAL is empty (typical for a repeated
-	// /v1/admin/compact before a planned restart), so skip the snapshot
-	// rewrite entirely. A non-empty WAL at the same version (crash
-	// between a commit's meta swap and WAL reset) still gets folded so
-	// its stale bytes are reclaimed. Only when persistence is healthy —
-	// degraded mode means in-memory state ran ahead of the log, and
-	// versions never decrease, so the versions can't be equal then
-	// anyway; the check keeps the self-heal path conservative.
-	if sv, nrec, svErr := s.st.FoldState(name); svErr == nil && sv == version && nrec == 0 && !e.persistBroken.Load() {
+		if err != nil {
+			s.persistErrors.Add(1)
+			return false, err
+		}
+		// Nothing to fold: the durable snapshot already captures this exact
+		// version AND the WAL is empty (typical for a repeated
+		// /v1/admin/compact before a planned restart), so skip the snapshot
+		// rewrite entirely. A non-empty WAL at the same version (crash
+		// between a commit's meta swap and WAL reset) still gets folded so
+		// its stale bytes are reclaimed. Only when persistence is healthy —
+		// degraded mode means in-memory state ran ahead of the log, and
+		// versions never decrease, so the versions can't be equal then
+		// anyway; the check keeps the self-heal path conservative.
+		// A quality adoption at an unchanged version also leaves something
+		// to fold: the snapshot's colors are superseded even though the
+		// version matches, which the generation pair detects.
+		if sv, nrec, svErr := s.st.FoldState(name); svErr == nil && sv == version && nrec == 0 &&
+			e.snapQualityGen.Load() == qgen && !e.persistBroken.Load() {
+			return true, nil
+		}
+
+		pending, err := s.st.BeginCompact(name, g, colors, version)
+		if err != nil {
+			s.persistErrors.Add(1)
+			return false, err
+		}
+
+		e.mu.Lock()
+		if e.dyn.Version() != version {
+			// A batch landed while the snapshot was being written; folding
+			// now would erase its WAL record. Let the next trigger retry.
+			pending.Abort()
+			e.mu.Unlock()
+			return false, nil
+		}
+		if e.qualityGen.Load() != qgen {
+			// A recolor adoption landed mid-write: the snapshot we just
+			// wrote carries the superseded colors. Recapture and refold.
+			pending.Abort()
+			e.mu.Unlock()
+			if attempt < 3 {
+				continue
+			}
+			return false, nil
+		}
+		if err := pending.Commit(); err != nil {
+			s.persistErrors.Add(1)
+			e.mu.Unlock()
+			return false, err
+		}
+		e.snapQualityGen.Store(qgen)
+		e.persistBroken.Store(false)
+		e.mu.Unlock()
 		return true, nil
 	}
-
-	pending, err := s.st.BeginCompact(name, g, colors, version)
-	if err != nil {
-		s.persistErrors.Add(1)
-		return false, err
-	}
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.dyn.Version() != version {
-		// A batch landed while the snapshot was being written; folding
-		// now would erase its WAL record. Let the next trigger retry.
-		pending.Abort()
-		return false, nil
-	}
-	if err := pending.Commit(); err != nil {
-		s.persistErrors.Add(1)
-		return false, err
-	}
-	e.persistBroken.Store(false)
-	return true, nil
 }
 
 // Drain blocks until every inflight job has finished (by acquiring the
@@ -343,6 +375,12 @@ func (m *Manager) Drain(ctx context.Context) error {
 // must already be stopped — after Close, served graphs may alias
 // unmapped snapshot memory.
 func (s *Server) Close(ctx context.Context) error {
+	if s.qrun != nil {
+		// Stop the quality worker first: its context cancellation
+		// preempts an in-flight recolor pass at the next pass boundary,
+		// and no new visits may start while the store shuts down.
+		s.qrun.Stop()
+	}
 	if err := s.mgr.Drain(ctx); err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -607,5 +608,116 @@ func TestServerClose(t *testing.T) {
 	// The store is flushed and refuses further work.
 	if err := s.Store().Register("late", "kron:4", nil, false); err == nil {
 		t.Fatal("store accepted a registration after Close")
+	}
+}
+
+// TestRecolorAdoptionPersistsAcrossRestart: a background recolor
+// adoption improves the maintained coloring WITHOUT bumping the graph
+// version, so its durability rides entirely on the generation-gated
+// re-fold — the adoption schedules a compaction, the commit records
+// the quality generation it folded, and a crash-style restart must
+// recover the improved palette from the snapshot (there is no WAL
+// record to replay it from).
+func TestRecolorAdoptionPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistentServer(t, dir, ManagerConfig{MaxInflight: 2, CacheEntries: 8})
+	addSpecGraph(t, ts1, "er", "er:800:8000")
+
+	// Establish the maintained coloring (a zero-pass visit creates it
+	// without improving), then drive visits until an adoption lands.
+	s1.recolorVisit(context.Background(), "er", 0)
+	e, err := s1.Registry().Get("er")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, baseColors, _, ok := e.MaintainedColors()
+	if !ok {
+		t.Fatal("no maintained coloring after the establishing visit")
+	}
+	if saved := recolorUntilImproved(s1, "er", 12); saved == 0 {
+		t.Fatalf("er:800:8000 never improved from %d colors", baseColors)
+	}
+	_, improved, ver, _ := e.MaintainedColors()
+	if ver != 0 {
+		t.Fatalf("adoption bumped the graph version to %d", ver)
+	}
+	if improved >= baseColors {
+		t.Fatalf("colors %d -> %d, want a strict reduction", baseColors, improved)
+	}
+
+	// The adoption scheduled a background re-fold; wait for its commit
+	// (the snapshot generation catching up to the adoption generation),
+	// then confirm the durable snapshot carries the improved palette at
+	// the unchanged version.
+	deadline := time.Now().Add(10 * time.Second)
+	for e.snapQualityGen.Load() != e.qualityGen.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("re-fold never committed: snapshot gen %d, quality gen %d",
+				e.snapQualityGen.Load(), e.qualityGen.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if colors, numColors, snapVer, ok := s1.Store().SnapshotColors("er"); !ok {
+		t.Fatal("no snapshot colors after the re-fold committed")
+	} else if snapVer != 0 || numColors != improved || len(colors) != e.G.NumVertices() {
+		t.Fatalf("snapshot at version %d with %d colors (len %d), want version 0 with %d",
+			snapVer, numColors, len(colors), improved)
+	}
+
+	ts1.Close()
+	// Crash-style restart: no store Close — the committed snapshot and
+	// registration records alone must carry the improvement.
+	s2, ts2 := newPersistentServer(t, dir, ManagerConfig{MaxInflight: 2, CacheEntries: 8})
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Graphs != 1 || rec.SnapshotLoads != 1 || rec.ReplayedBatches != 0 {
+		t.Fatalf("recovery stats %+v, want 1 graph from its snapshot with an empty WAL", rec)
+	}
+	e2, err := s2.Registry().Get("er")
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors2, num2, ver2, ok := e2.MaintainedColors()
+	if !ok {
+		t.Fatal("no maintained coloring after recovery")
+	}
+	if ver2 != 0 || num2 != improved {
+		t.Fatalf("recovered %d colors at version %d, want the adopted %d at version 0",
+			num2, ver2, improved)
+	}
+	g2, _, err := e2.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckProper(g2, colors2); err != nil {
+		t.Fatalf("recovered coloring: %v", err)
+	}
+	// The tracker is re-seeded from the recovered coloring, and the
+	// binary maintained read path serves the improved palette straight
+	// from the recovered mmapped snapshot.
+	if st, ok := s2.QualityTracker().Get("er"); !ok || st.Colors != improved {
+		t.Fatalf("tracker after recovery: %+v, %v (want colors=%d)", st, ok, improved)
+	}
+	resp, err := http.Get(ts2.URL + "/v1/color/bin?graph=er&algorithm=maintained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maintained bin read: status %d: %s", resp.StatusCode, body)
+	}
+	binVer, _, _, binNum, binColors, err := DecodeColorBin(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binVer != 0 || binNum != improved || len(binColors) != g2.NumVertices() {
+		t.Fatalf("binary read: version %d, %d colors, n=%d; want version 0, %d colors, n=%d",
+			binVer, binNum, len(binColors), improved, g2.NumVertices())
 	}
 }

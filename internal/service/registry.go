@@ -59,6 +59,16 @@ type GraphEntry struct {
 	// a version gap was detected), so further appends are skipped until
 	// a compaction folds the in-memory state into a fresh snapshot.
 	persistBroken atomic.Bool
+	// qualityGen counts quality adoptions (recolor improvements swapped
+	// into the maintained coloring WITHOUT a version bump — the graph
+	// didn't change, only the coloring got better). snapQualityGen is
+	// the generation the store's snapshot captured: the mmapped
+	// zero-copy read path and compaction's nothing-to-fold check both
+	// require snapVersion == version AND snapQualityGen == qualityGen,
+	// so an adoption at an unchanged version invalidates the snapshot
+	// exactly like a mutation would.
+	qualityGen     atomic.Uint64
+	snapQualityGen atomic.Uint64
 	// dyn is the mutable overlay + maintained coloring, nil until the
 	// first mutation (the common static case pays nothing).
 	dyn *dynamic.Colored

@@ -22,6 +22,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/quality"
 	"repro/internal/store"
 )
 
@@ -63,6 +64,12 @@ type Server struct {
 	node   string
 	reqLog *requestLog
 
+	// qtr tracks per-graph coloring quality against optional
+	// targetColors objectives; qrun is the background recolor worker
+	// (nil unless EnableRecolor ran). See quality.go.
+	qtr  *quality.Tracker
+	qrun *quality.Runner
+
 	requests           atomic.Int64 // every API request
 	graphUploads       atomic.Int64
 	colorRequests      atomic.Int64
@@ -101,6 +108,7 @@ func NewServer(cfg ManagerConfig) *Server {
 		met:   newServerMetrics(),
 		ring:  obs.NewRing(0),
 		node:  host,
+		qtr:   quality.NewTracker(),
 	}
 	s.mgr.met = s.met
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
@@ -114,7 +122,9 @@ func NewServer(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("/v1/internal/version", s.handleVersion)
 	s.mux.HandleFunc("/v1/internal/lease", s.handleLease)
 	s.mux.HandleFunc("/v1/internal/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/v1/internal/recolor", s.handleRecolorInternal)
 	s.mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
+	s.mux.HandleFunc("/v1/cluster/metrics", s.handleClusterMetrics)
 	s.mux.HandleFunc("/v1/debug/trace", s.handleDebugTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -215,6 +225,11 @@ type graphUploadRequest struct {
 	// (MatrixMarket coordinate pattern).
 	Format string `json:"format"`
 	Data   string `json:"data"`
+	// TargetColors sets the graph's quality objective at registration
+	// (0: none; settable later via PATCH /v1/graphs/{id}/quality). The
+	// field rides the registration body, so the cluster fan-out
+	// replicates it to the placement peers for free.
+	TargetColors int `json:"targetColors,omitempty"`
 }
 
 // graphInfo is the JSON view of a registered graph. Persisted reports
@@ -240,6 +255,19 @@ type graphInfo struct {
 	Primary   string   `json:"primary,omitempty"`
 	Replicas  []string `json:"replicas,omitempty"`
 	CacheHome string   `json:"cacheHome,omitempty"`
+	// Quality summarizes the graph's coloring-quality state (present
+	// once the quality tracker has seen a maintained coloring or an
+	// objective; see /v1/graphs/{id}/quality for the full document).
+	Quality *graphQualityInfo `json:"quality,omitempty"`
+}
+
+// graphQualityInfo is the compact quality summary on graph listings.
+type graphQualityInfo struct {
+	Colors       int    `json:"colors"`
+	TargetColors int    `json:"targetColors,omitempty"`
+	SLO          string `json:"slo"`
+	ColorsSaved  int64  `json:"colorsSaved"`
+	Passes       int64  `json:"passes"`
 }
 
 func (s *Server) infoOf(e *GraphEntry) graphInfo {
@@ -263,6 +291,15 @@ func (s *Server) infoOf(e *GraphEntry) graphInfo {
 		info.Replicas = pl
 		if home, ok := c.KeyHome(e.Name, 0); ok {
 			info.CacheHome = home
+		}
+	}
+	if st, ok := s.qtr.Get(e.Name); ok {
+		info.Quality = &graphQualityInfo{
+			Colors:       st.Colors,
+			TargetColors: st.TargetColors,
+			SLO:          st.SLO(),
+			ColorsSaved:  st.ColorsSaved,
+			Passes:       st.Passes,
 		}
 	}
 	return info
@@ -379,9 +416,19 @@ func (s *Server) registerGraph(req graphUploadRequest) (*GraphEntry, error) {
 	// re-registers its target on every run, and a conflicting name must
 	// not trigger a full (possibly GB-scale) generation just to fail.
 	// CheckExisting is the same rule Registry.Add enforces.
+	if req.TargetColors < 0 {
+		return nil, fmt.Errorf("%w: targetColors must be >= 0", ErrBadRequest)
+	}
+	setTarget := func(e *GraphEntry) {
+		if req.TargetColors > 0 {
+			s.qtr.SetTarget(req.Name, req.TargetColors)
+			s.updateQualityGauges(req.Name)
+		}
+	}
 	if old, err := s.reg.CheckExisting(req.Name, req.Spec); err != nil {
 		return nil, err
 	} else if old != nil {
+		setTarget(old)
 		return old, nil
 	}
 	add := func(spec string, g *graph.Graph, isUpload bool) (*GraphEntry, error) {
@@ -395,6 +442,7 @@ func (s *Server) registerGraph(req graphUploadRequest) (*GraphEntry, error) {
 		if perr := s.persistRegistration(e, isUpload); perr != nil {
 			fmt.Fprintf(os.Stderr, "service: persisting graph %q: %v\n", req.Name, perr)
 		}
+		setTarget(e)
 		return e, nil
 	}
 	switch {
@@ -554,6 +602,13 @@ type Metrics struct {
 	// Cluster carries the routing/replication counters when this node
 	// is a member of a multi-node cluster.
 	Cluster *ClusterMetrics `json:"cluster,omitempty"`
+	// Quality carries the quality-SLO engine's state: worker cycle
+	// counters, pass/improvement totals and the per-graph quality map.
+	Quality *QualityMetrics `json:"quality,omitempty"`
+	// HistMergeMismatches counts histogram snapshot merges that met
+	// mismatched bucket layouts (the receiver's snapshot won) — nonzero
+	// means some aggregated latency view silently dropped a side.
+	HistMergeMismatches int64 `json:"histMergeMismatches"`
 	// HTTPLatency carries the per-endpoint server-side request-duration
 	// histogram snapshots (classes merged). colorload diffs two scrapes
 	// to print the server's own p50/p95/p99 for just its run.
@@ -610,6 +665,8 @@ func (s *Server) SnapshotMetrics() Metrics {
 			PipelineWindow:    s.cl.pipeWindow,
 		}
 	}
+	m.Quality = s.qualityMetrics()
+	m.HistMergeMismatches = obs.MergeMismatches()
 	m.HTTPLatency = s.met.httpSnapshots()
 	m.SchemaVersions.AlgoRecord = harness.AlgoRecordSchemaVersion
 	return m

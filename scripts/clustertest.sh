@@ -45,7 +45,8 @@ start_node() {
     bin/colord -addr "127.0.0.1:${PORTS[$i]}" -max-inflight 4 \
         -data-dir "$WORK/node$i" \
         -cluster-self "${URLS[$i]}" -cluster-peers "$PEERS" \
-        -cluster-replicas 2 -cluster-probe-interval 250ms -cluster-fail-after 2 &
+        -cluster-replicas 2 -cluster-probe-interval 250ms -cluster-fail-after 2 \
+        -recolor -recolor-interval 100ms &
     PIDS[$i]=$!
 }
 
@@ -190,4 +191,51 @@ echo "clustertest: final local versions:$versions (placement nodes must agree)"
 set -- $versions
 [ "$#" -ge 2 ] && [ "$1" = "$2" ] || { echo "clustertest: placement nodes disagree on the final version" >&2; exit 1; }
 
-echo "clustertest: OK — non-owner proxying, synchronous replication, kill -9 failover (window ${FAILOVER_MS} ms), journal-verified zero loss, rejoin catch-up"
+echo "clustertest: phase 4 — cluster-wide metrics aggregation + quality convergence"
+# Any node must serve the whole cluster's metrics document: all three
+# members present and reporting, and the aggregate latency histogram
+# merged QUANTILE-CONSISTENTLY — the merged count for the busiest
+# endpoint equals the SUM of the per-node counts (buckets are merged,
+# quantiles are never averaged averages).
+CM="$(curl -sf "$OUTSIDER/v1/cluster/metrics")"
+read -r total reporting nnodes <<< "$(echo "$CM" | jq -r '"\(.nodesTotal) \(.nodesReporting) \(.nodes | length)"')"
+if [ "$total" != 3 ] || [ "$reporting" != 3 ] || [ "$nnodes" != 3 ]; then
+    echo "clustertest: cluster metrics missing members: total=$total reporting=$reporting nodes=$nnodes" >&2
+    exit 1
+fi
+aggc="$(echo "$CM" | jq '.aggregate.httpLatency["/v1/color"].count // 0')"
+sumc="$(echo "$CM" | jq '[.nodes[].metrics.httpLatency["/v1/color"].count // 0] | add')"
+if [ "$aggc" != "$sumc" ] || [ "$aggc" -eq 0 ]; then
+    echo "clustertest: merged /v1/color histogram count $aggc does not equal the per-node sum $sumc" >&2
+    exit 1
+fi
+p50="$(echo "$CM" | jq '.aggregate.latencySummary["/v1/color"].p50')"
+echo "clustertest: cluster metrics: 3/3 nodes reporting, merged /v1/color count $aggc (= per-node sum), p50 ${p50}s"
+
+# Quality convergence: register a graph whose greedy baseline reliably
+# improves; the PRIMARY's background worker adopts a strictly better
+# coloring and ships it to the replica, so both placement nodes' LOCAL
+# quality state (each node's own /metrics) must converge on the same
+# reduced palette, and the cluster aggregate must count the savings.
+QG="qualg"
+curl -sf -X POST "$OUTSIDER/v1/graphs" -d "{\"name\":\"$QG\",\"spec\":\"er:800:8000\",\"targetColors\":9}" >/dev/null
+mapfile -t QPLACE < <(curl -sf "${URLS[0]}/v1/cluster/status" | jq -r --arg g "$QG" '.graphs[] | select(.name == $g) | .placement[]')
+[ "${#QPLACE[@]}" -ge 2 ] || { echo "clustertest: no placement resolved for $QG" >&2; exit 1; }
+converged="" c0="" c1="" savedagg=""
+for _ in $(seq 200); do
+    c0="$(curl -sf "${QPLACE[0]}/metrics" | jq -r --arg g "$QG" '.quality.graphs[$g].colors // empty')"
+    c1="$(curl -sf "${QPLACE[1]}/metrics" | jq -r --arg g "$QG" '.quality.graphs[$g].colors // empty')"
+    savedagg="$(curl -sf "$OUTSIDER/v1/cluster/metrics" | jq '.aggregate.qualityColorsSaved // 0')"
+    if [ -n "$c0" ] && [ "$c0" = "$c1" ] && [ "$c0" -gt 0 ] && [ "$savedagg" -gt 0 ]; then
+        converged=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$converged" ] || {
+    echo "clustertest: quality state never converged for $QG: ${QPLACE[0]} says '${c0}' colors, ${QPLACE[1]} says '${c1}', aggregate saved '${savedagg}'" >&2
+    exit 1
+}
+echo "clustertest: quality improvement replicated: both placement nodes hold $c0 colors (cluster saved $savedagg)"
+
+echo "clustertest: OK — non-owner proxying, synchronous replication, kill -9 failover (window ${FAILOVER_MS} ms), journal-verified zero loss, rejoin catch-up, cluster metrics + quality convergence"

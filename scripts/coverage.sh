@@ -11,11 +11,12 @@ PKGS="repro/internal/graph repro/internal/jp repro/internal/order \
       repro/internal/spec repro/internal/verify repro/internal/dynamic \
       repro/internal/store repro/internal/cluster \
       repro/internal/faultinject repro/internal/retry \
-      repro/internal/gen repro/internal/speculate repro/internal/obs"
+      repro/internal/gen repro/internal/speculate repro/internal/obs \
+      repro/internal/recolor repro/internal/quality"
 # Every package above must print a coverage line: a package that loses
 # its tests reports "[no test files]" instead, which must fail the
 # gate, not slip past it.
-EXPECTED=13
+EXPECTED=15
 
 summary="$(mktemp)"
 trap 'rm -f "$summary"' EXIT

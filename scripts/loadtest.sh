@@ -27,7 +27,8 @@ mkdir -p bin
 go build -o bin/colord ./cmd/colord
 go build -o bin/colorload ./cmd/colorload
 
-bin/colord -addr "$ADDR" -max-inflight "$INFLIGHT" &
+bin/colord -addr "$ADDR" -max-inflight "$INFLIGHT" \
+    -recolor -recolor-interval 100ms &
 COLORD_PID=$!
 trap 'kill "$COLORD_PID" 2>/dev/null || true; wait "$COLORD_PID" 2>/dev/null || true' EXIT
 
@@ -52,31 +53,77 @@ bin/colorload -addr "http://$ADDR" -graph loadtest -spec "$SPEC" \
 # Prometheus exposition sanity while the loaded daemon is still up:
 # the scrape must be non-empty, every sample line must parse, and no
 # series may appear twice (duplicate series break real scrapers).
-PROM="$(mktemp)"
-curl -sf "http://$ADDR/metrics?format=prom" > "$PROM"
-awk '
-  /^$/ { next }
-  /^#/ { next }
-  {
-    if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [-+0-9.eE]*(Inf|NaN)?$/) {
-      printf "loadtest: unparseable exposition line: %s\n", $0
-      bad = 1
-    }
-    series = $0
-    sub(/ [^ ]*$/, "", series)
-    if (seen[series]++) {
-      printf "loadtest: duplicate series: %s\n", series
-      bad = 1
-    }
-    n++
-  }
-  END {
-    if (n == 0) { print "loadtest: empty Prometheus exposition"; exit 1 }
-    if (bad) exit 1
-    printf "loadtest: Prometheus exposition ok (%d samples, no duplicates)\n", n
-  }
-' "$PROM"
-rm -f "$PROM"
+prom_lint() { # prom_lint URL LABEL
+    local prom
+    prom="$(mktemp)"
+    curl -sf "$1" > "$prom"
+    awk -v label="$2" '
+      /^$/ { next }
+      /^#/ { next }
+      {
+        if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [-+0-9.eE]*(Inf|NaN)?$/) {
+          printf "loadtest: %s: unparseable exposition line: %s\n", label, $0
+          bad = 1
+        }
+        series = $0
+        sub(/ [^ ]*$/, "", series)
+        if (seen[series]++) {
+          printf "loadtest: %s: duplicate series: %s\n", label, series
+          bad = 1
+        }
+        n++
+      }
+      END {
+        if (n == 0) { printf "loadtest: %s: empty Prometheus exposition\n", label; exit 1 }
+        if (bad) exit 1
+        printf "loadtest: %s: Prometheus exposition ok (%d samples, no duplicates)\n", label, n
+      }
+    ' "$prom"
+    local rc=$?
+    rm -f "$prom"
+    return $rc
+}
+prom_lint "http://$ADDR/metrics?format=prom" "/metrics"
+
+# ---- background recoloring: generation swap without a version bump -----
+# Register a graph whose greedy baseline reliably improves, wait for the
+# idle quality worker to adopt a strictly better coloring, then prove
+# the adoption swapped in a new cache generation while graphVersion
+# stayed put: colorsSaved > 0, colors < initialColors, version still 0,
+# and the maintained binary read serves the improved palette.
+curl -sf -X POST "http://$ADDR/v1/graphs" \
+    -d '{"name":"recolorme","spec":"er:800:8000"}' >/dev/null
+saved=""
+for _ in $(seq 100); do
+    Q="$(curl -sf "http://$ADDR/v1/graphs/recolorme/quality" || true)"
+    saved="$(printf '%s' "$Q" | sed -n 's/.*"colorsSaved": *\([0-9]*\).*/\1/p' | tail -n 1)"
+    if [ -n "$saved" ] && [ "$saved" -gt 0 ]; then break; fi
+    saved=""
+    sleep 0.2
+done
+if [ -z "$saved" ]; then
+    echo "loadtest: quality worker never improved er:800:8000 (quality doc: $(curl -sf "http://$ADDR/v1/graphs/recolorme/quality" || echo unavailable))" >&2
+    exit 1
+fi
+colors="$(printf '%s' "$Q" | sed -n 's/.*"colors": *\([0-9]*\).*/\1/p' | tail -n 1)"
+initial="$(printf '%s' "$Q" | sed -n 's/.*"initialColors": *\([0-9]*\).*/\1/p' | tail -n 1)"
+qver="$(printf '%s' "$Q" | sed -n 's/.*"version": *\([0-9]*\).*/\1/p' | tail -n 1)"
+if [ "$qver" != "0" ] || [ "$colors" -ge "$initial" ]; then
+    echo "loadtest: recolor adoption broke its contract: version=$qver colors=$colors initialColors=$initial ($Q)" >&2
+    exit 1
+fi
+BINREAD="$(mktemp)"
+curl -sf "http://$ADDR/v1/color/bin?graph=recolorme&algorithm=maintained" > "$BINREAD"
+# Header bytes 8..15 hold graphVersion (uint64 LE), 36..39 numColors
+# (uint32 LE): the read path must serve the adopted palette at the
+# UNCHANGED version — the cache generation swapped, the version did not.
+read -r binver binc <<< "$(od -An -j8 -N8 -tu8 "$BINREAD" | tr -d ' ') $(od -An -j36 -N4 -tu4 "$BINREAD" | tr -d ' ')"
+rm -f "$BINREAD"
+if [ "$binver" != "0" ] || [ "$binc" != "$colors" ]; then
+    echo "loadtest: maintained binary read serves version=$binver numColors=$binc, quality doc says version=$qver colors=$colors" >&2
+    exit 1
+fi
+echo "loadtest: recoloring saved $saved colors ($initial -> $colors) at version 0; maintained read serves the adopted palette"
 
 kill "$COLORD_PID" 2>/dev/null || true
 wait "$COLORD_PID" 2>/dev/null || true
@@ -136,3 +183,18 @@ awk -v floor="$BIN_FLOOR" '
   }
   END { if (!seen) { print "loadtest: no req/s summary line found"; exit 1 } }
 ' "$BIN_OUT"
+
+# The cluster-wide metrics document must render clean Prometheus
+# exposition from any member, and its aggregate must cover the load the
+# cluster just served (colorRequests summed across the three nodes).
+prom_lint "${URLS[0]}/v1/cluster/metrics?format=prom" "/v1/cluster/metrics"
+CM="$(curl -sf "${URLS[1]}/v1/cluster/metrics")"
+reporting="$(printf '%s' "$CM" | sed -n 's/.*"nodesReporting": *\([0-9]*\).*/\1/p' | tail -n 1)"
+# colorRequests appears once per reporting node and once in the
+# aggregate; the aggregate is serialized last.
+creq="$(printf '%s' "$CM" | sed -n 's/.*"colorRequests": *\([0-9]*\).*/\1/p' | tail -n 1)"
+if [ "$reporting" != "3" ] || [ -z "$creq" ] || [ "$creq" -lt "$BIN_REQUESTS" ]; then
+    echo "loadtest: cluster metrics aggregate is wrong: nodesReporting=$reporting colorRequests=$creq (want 3 nodes, >= $BIN_REQUESTS reads)" >&2
+    exit 1
+fi
+echo "loadtest: cluster metrics aggregate ok: 3 nodes reporting, $creq color requests"
